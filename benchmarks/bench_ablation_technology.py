@@ -1,0 +1,63 @@
+"""Ablation C: technology scaling of the Fig. 10 comparison.
+
+Replays the 16x16 / 40%-load operating point on 0.25 um, 0.18 um and
+0.13 um nodes.  Wire energy scales with ``C_wire * V^2`` (the 0.13 um
+node's 1.5 V rail buys a ~5x reduction per grid), so the architecture
+ranking can shift across nodes — exactly the kind of question the
+paper's closing paragraph says the framework exists to answer.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.estimator import ARCHITECTURES
+from repro.sim.runner import run_simulation
+from repro.tech import PRESETS
+
+BASE = dict(load=0.4, arrival_slots=500, warmup_slots=100, seed=55)
+
+
+def _scaling_runs():
+    rows = {}
+    for name, tech in sorted(PRESETS.items()):
+        for arch in ARCHITECTURES:
+            r = run_simulation(arch, 16, tech=tech, **BASE)
+            rows[(name, arch)] = r
+    return rows
+
+
+def test_technology_scaling(once):
+    rows = once(_scaling_runs)
+
+    print()
+    names = sorted(PRESETS)
+    table_rows = []
+    for arch in ARCHITECTURES:
+        table_rows.append(
+            [arch]
+            + [f"{rows[(n, arch)].total_power_w * 1e3:.3f}" for n in names]
+        )
+    print(
+        format_table(
+            ["architecture"] + [f"{n} mW" for n in names],
+            table_rows,
+            title="Ablation C — 16x16 fabric power at 40% load across nodes",
+        )
+    )
+
+    grid = {n: PRESETS[n].grid_bit_energy_j for n in names}
+    print(f"E_T per node: { {n: f'{g*1e15:.1f} fJ' for n, g in grid.items()} }")
+
+    # Wire energy must scale with the node's E_T for wire-dominated
+    # fabrics (crossbar): same flip counts, same seeds.
+    xb = {n: rows[(n, "crossbar")].energy.wire_j for n in names}
+    for a, b in (("0.13um", "0.18um"), ("0.18um", "0.25um")):
+        assert xb[a] / xb[b] == __import__("pytest").approx(
+            grid[a] / grid[b], rel=0.01
+        )
+    # Every fabric gets cheaper on the newer node (lower V and C).
+    for arch in ARCHITECTURES:
+        assert (
+            rows[("0.13um", arch)].energy.wire_j
+            < rows[("0.25um", arch)].energy.wire_j
+        )

@@ -1,0 +1,62 @@
+"""Ablation A: worst-case (Eq. 3-6) vs per-link Thompson wire lengths.
+
+The paper charges every stage its longest (cross) wire; real layouts
+have short straight links too.  This bench measures how much of each
+fabric's wire energy the worst-case convention overstates — the answer
+calibrates how to read the paper's absolute numbers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.sim.runner import run_simulation
+
+ARCHS = ("fully_connected", "banyan", "batcher_banyan")
+
+
+def _compare():
+    rows = []
+    for arch in ARCHS:
+        for ports in (8, 32):
+            kwargs = dict(
+                load=0.4, arrival_slots=500, warmup_slots=100, seed=88
+            )
+            worst = run_simulation(arch, ports, wire_mode="worst_case", **kwargs)
+            per_link = run_simulation(arch, ports, wire_mode="per_link", **kwargs)
+            rows.append(
+                (
+                    arch,
+                    ports,
+                    worst.energy.wire_j,
+                    per_link.energy.wire_j,
+                    per_link.energy.wire_j / worst.energy.wire_j,
+                    per_link.total_power_w / worst.total_power_w,
+                )
+            )
+    return rows
+
+
+def test_wire_mode_ablation(once):
+    rows = once(_compare)
+
+    print()
+    print(
+        format_table(
+            ["architecture", "ports", "worst J", "per-link J",
+             "wire ratio", "total ratio"],
+            [
+                [a, p, f"{w:.3e}", f"{l:.3e}", f"{wr:.2f}", f"{tr:.2f}"]
+                for a, p, w, l, wr, tr in rows
+            ],
+            title="Ablation A — Thompson wire accounting",
+        )
+    )
+
+    for arch, ports, _w, _l, wire_ratio, total_ratio in rows:
+        # Per-link must be cheaper but not absurdly so.
+        assert 0.2 < wire_ratio < 1.0, (arch, ports)
+        assert total_ratio <= 1.0 + 1e-9
+    # The banyan-style fabrics halve-ish their wire energy (random
+    # routing crosses ~half the stages); per-link matters most there.
+    banyan_ratios = [wr for a, _p, _w, _l, wr, _t in rows if a == "banyan"]
+    assert all(r < 0.85 for r in banyan_ratios)

@@ -1,0 +1,59 @@
+"""Cross-validation: closed-form estimator vs bit-level simulator.
+
+The paper derives Eq. 3-6 and then *simulates*; this bench quantifies
+how far the two sit apart in our reproduction, per architecture and
+port count.  The estimator shares the Table 1/2 energy models but uses
+the Patel recurrence instead of simulated contention, and a flat 0.5
+flip fraction instead of traced payload bits — agreement within a
+factor ~2 everywhere validates both sides.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.estimator import ARCHITECTURES, estimate_power
+from repro.sim.runner import run_simulation
+
+
+def _compare():
+    rows = []
+    for arch in ARCHITECTURES:
+        for ports in (8, 32):
+            sim = run_simulation(
+                arch, ports, load=0.3, arrival_slots=600, warmup_slots=120,
+                seed=404,
+            )
+            est = estimate_power(arch, ports, sim.throughput)
+            rows.append(
+                (
+                    arch,
+                    ports,
+                    sim.total_power_w,
+                    est.total_power_w,
+                    sim.total_power_w / est.total_power_w,
+                )
+            )
+    return rows
+
+
+def test_analytical_tracks_simulation(once):
+    rows = once(_compare)
+
+    print()
+    print(
+        format_table(
+            ["architecture", "ports", "sim W", "estimator W", "sim/est"],
+            [
+                [arch, ports, f"{s:.5f}", f"{e:.5f}", f"{r:.2f}"]
+                for arch, ports, s, e, r in rows
+            ],
+            title="Analytical estimator vs bit-level simulation (30% load)",
+        )
+    )
+
+    for arch, ports, _s, _e, ratio in rows:
+        assert 0.4 < ratio < 2.5, (arch, ports, ratio)
+    # The bufferless fabrics agree tightly (no contention model error).
+    for arch, ports, _s, _e, ratio in rows:
+        if arch != "banyan":
+            assert 0.6 < ratio < 1.7, (arch, ports, ratio)

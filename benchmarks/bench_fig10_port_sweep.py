@@ -1,0 +1,66 @@
+"""Regenerate paper Fig. 10: power vs port count at 50% throughput.
+
+Plus the paper's quantitative reading of the figure: the power gap
+between the fully connected fabric and the Batcher-Banyan *narrows*
+as ports grow (37% at 4x4 -> 20% at 32x32 in the paper; our measured
+figures are printed alongside).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_comparison, format_table
+from repro.analysis.sweeps import port_sweep
+from repro.core.estimator import ARCHITECTURES
+from repro.units import to_mW
+
+PORTS = [4, 8, 16, 32]
+
+
+def _sweep():
+    return port_sweep(
+        throughput=0.50,
+        ports_list=PORTS,
+        loads=[0.1, 0.2, 0.3, 0.4, 0.5, 0.55],
+        arrival_slots=800,
+        warmup_slots=160,
+        seed=2002,
+    )
+
+
+def test_fig10_power_vs_ports(once):
+    result = once(_sweep)
+
+    print()
+    rows = []
+    for ports in PORTS:
+        rows.append(
+            [f"{ports}x{ports}"]
+            + [to_mW(result.power_w[arch][ports]) for arch in ARCHITECTURES]
+        )
+    print(
+        format_table(
+            ["size"] + [f"{a} mW" for a in ARCHITECTURES],
+            rows,
+            title="Fig. 10 — power at 50% throughput vs port count",
+        )
+    )
+
+    gap4 = result.gap("fully_connected", "batcher_banyan", 4)
+    gap32 = result.gap("fully_connected", "batcher_banyan", 32)
+    print(format_comparison("FC-vs-BB gap at 4x4", 0.37, gap4))
+    print(format_comparison("FC-vs-BB gap at 32x32", 0.20, gap32))
+
+    # Every architecture burns more power in bigger fabrics.
+    for arch in ARCHITECTURES:
+        series = [result.power_w[arch][p] for p in PORTS]
+        assert series == sorted(series), arch
+
+    # The paper's headline Fig. 10 observation: the gap narrows.
+    assert gap32 < gap4
+    # Fully connected cheaper than Batcher-Banyan at every size
+    # (Observation 2's pairing).
+    for ports in PORTS:
+        assert (
+            result.power_w["fully_connected"][ports]
+            < result.power_w["batcher_banyan"][ports]
+        )

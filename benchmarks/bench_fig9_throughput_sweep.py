@@ -1,0 +1,82 @@
+"""Regenerate paper Fig. 9: power vs egress throughput, 10-50%.
+
+One bench per port count (4/8/16/32), each sweeping all four
+architectures across offered loads and printing the power series the
+figure plots.  Shape assertions per the paper's reading of Fig. 9:
+
+* crossbar / fully-connected / Batcher-Banyan power grows ~linearly
+  with throughput;
+* banyan power grows superlinearly (the buffer penalty);
+* the banyan's buffer share of total power rises with load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.sweeps import throughput_sweep
+from repro.core.estimator import ARCHITECTURES
+from repro.units import to_mW
+
+LOADS = [0.10, 0.20, 0.30, 0.40, 0.50]
+SLOTS = dict(arrival_slots=800, warmup_slots=160, seed=2002)
+
+
+def _sweep_all(ports):
+    return {
+        arch: throughput_sweep(arch, ports, loads=LOADS, **SLOTS)
+        for arch in ARCHITECTURES
+    }
+
+
+@pytest.mark.parametrize("ports", [4, 8, 16, 32])
+def test_fig9_power_vs_throughput(once, ports):
+    sweeps = once(lambda: _sweep_all(ports))
+
+    print()
+    rows = []
+    for load_index, load in enumerate(LOADS):
+        row = [f"{load:.2f}"]
+        for arch in ARCHITECTURES:
+            point = sweeps[arch].points[load_index]
+            row.append(f"{point.throughput:.3f}/{to_mW(point.total_power_w):.3f}")
+        rows.append(row)
+    print(
+        format_table(
+            ["offered"] + [f"{a} (thr/mW)" for a in ARCHITECTURES],
+            rows,
+            title=f"Fig. 9 — power vs throughput, {ports}x{ports}",
+        )
+    )
+
+    for arch in ARCHITECTURES:
+        powers = [p.total_power_w for p in sweeps[arch].points]
+        # Power must rise with load for every architecture.
+        assert powers == sorted(powers), arch
+
+    def slope_ratio(arch):
+        """Power growth from 10% to 40% offered, normalised to 4x."""
+        pts = sweeps[arch].points
+        return (pts[3].total_power_w / pts[0].total_power_w) / 4.0
+
+    # Observation 3: near-linear for the three contention-free fabrics.
+    for arch in ("crossbar", "fully_connected", "batcher_banyan"):
+        assert 0.75 < slope_ratio(arch) < 1.25, arch
+    # Observation 1: superlinear for the banyan — markedly so at large
+    # port counts where contention compounds across five stages, and
+    # still clearly above every contention-free fabric at small sizes.
+    banyan_slope = slope_ratio("banyan")
+    linear_slopes = [
+        slope_ratio(a)
+        for a in ("crossbar", "fully_connected", "batcher_banyan")
+    ]
+    assert banyan_slope > max(linear_slopes) + 0.05
+    if ports >= 16:
+        assert banyan_slope > 1.3
+
+    # Buffer share of banyan power rises with load.
+    banyan = sweeps["banyan"].points
+    low_share = banyan[0].buffer_power_w / banyan[0].total_power_w
+    high_share = banyan[3].buffer_power_w / banyan[3].total_power_w
+    assert high_share > low_share

@@ -1,0 +1,70 @@
+"""The 58.6% input-queueing ceiling (paper Section 6).
+
+"Because we use input buffering scheme ... the theoretical maximum
+throughput is 58.6% (measured at egress ports)."  Three routes to the
+same number, cross-checked:
+
+1. the closed form ``2 - sqrt(2)``;
+2. the saturated-HOL Markov simulation of
+   :mod:`repro.analysis.theory` (Karol/Hluchyj finite-N values);
+3. the *full router simulation* at offered load 1.0 — saturation must
+   emerge from the FCFS arbiter + FIFO ingress queues, nothing is
+   hard-coded.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.report import format_comparison, format_table
+from repro.analysis.theory import (
+    KAROL_HLUCHYJ_TABLE,
+    hol_saturation_asymptote,
+    hol_saturation_throughput,
+)
+from repro.sim.runner import run_simulation
+
+PORTS = [2, 4, 8, 16, 32]
+
+
+def _measure():
+    rows = []
+    for ports in PORTS:
+        theory = hol_saturation_throughput(ports, slots=40_000, seed=7)
+        sim = run_simulation(
+            "crossbar",
+            ports,
+            load=1.0,
+            arrival_slots=2500,
+            warmup_slots=500,
+            seed=7,
+            drain=False,
+        ).throughput
+        rows.append((ports, KAROL_HLUCHYJ_TABLE[ports], theory, sim))
+    return rows
+
+
+def test_saturation_throughput(once):
+    rows = once(_measure)
+
+    print()
+    print(
+        format_table(
+            ["ports", "Karol/Hluchyj", "HOL Markov", "full router sim"],
+            [[n, f"{k:.4f}", f"{t:.4f}", f"{s:.4f}"] for n, k, t, s in rows],
+            title="Input-queueing saturation throughput",
+        )
+    )
+    print(
+        format_comparison(
+            "asymptote 2 - sqrt(2)", 0.586, hol_saturation_asymptote()
+        )
+    )
+
+    assert hol_saturation_asymptote() == 2 - math.sqrt(2)
+    for ports, karol, theory, sim in rows:
+        assert abs(theory - karol) < 0.01, ports
+        assert abs(sim - karol) < 0.025, ports
+    # Monotone decrease toward the asymptote.
+    sims = [sim for *_rest, sim in rows]
+    assert all(a > b - 0.01 for a, b in zip(sims, sims[1:]))

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml ([project] table).  This file exists
+only so that ``pip install -e .`` works in offline environments whose
+setuptools/wheel combination cannot drive a PEP 517 editable build.
+"""
+
+from setuptools import setup
+
+setup()

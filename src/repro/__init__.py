@@ -1,0 +1,66 @@
+"""repro — bit-energy power analysis of network-router switch fabrics.
+
+A faithful, full-system reproduction of:
+
+    Terry Tao Ye, Luca Benini, Giovanni De Micheli,
+    "Analysis of Power Consumption on Switch Fabrics in Network
+    Routers", DAC 2002.
+
+Quick start
+-----------
+>>> import repro
+>>> result = repro.run_simulation("crossbar", ports=8, load=0.3,
+...                               arrival_slots=300, warmup_slots=50)
+>>> print(result.summary())  # doctest: +SKIP
+
+Analytical fast path (no simulation):
+
+>>> est = repro.estimate_power("banyan", ports=32, throughput=0.3)
+>>> est.total_power_w  # doctest: +SKIP
+
+Package map
+-----------
+- :mod:`repro.core` — the bit-energy model (the paper's contribution).
+- :mod:`repro.tech` — technology nodes and the wire model.
+- :mod:`repro.thompson` — Thompson grid wire-length estimation.
+- :mod:`repro.gatesim` — gate-level switch characterisation
+  (Synopsys Power Compiler substitute, regenerates Table 1 shapes).
+- :mod:`repro.memmodel` — SRAM/DRAM buffer energy (Table 2 substitute).
+- :mod:`repro.fabrics` — crossbar, fully connected, banyan,
+  batcher-banyan dynamic fabric models.
+- :mod:`repro.router` — ingress/egress units, arbiter, traffic.
+- :mod:`repro.sim` — the slotted bit-accurate simulation platform.
+- :mod:`repro.analysis` — sweeps, queueing theory, report formatting.
+"""
+
+from repro.version import PAPER, __version__
+from repro.core.estimator import (
+    ARCHITECTURES,
+    AnalyticalPowerEstimate,
+    estimate_all_architectures,
+    estimate_power,
+)
+from repro.core.analytical import worst_case_bit_energy
+from repro.sim.runner import build_router, run_simulation
+from repro.sim.results import SimulationResult
+from repro.fabrics.factory import build_fabric, default_models
+from repro.tech import TECH_130NM, TECH_180NM, TECH_250NM, Technology
+
+__all__ = [
+    "__version__",
+    "PAPER",
+    "ARCHITECTURES",
+    "AnalyticalPowerEstimate",
+    "estimate_power",
+    "estimate_all_architectures",
+    "worst_case_bit_energy",
+    "run_simulation",
+    "build_router",
+    "build_fabric",
+    "default_models",
+    "SimulationResult",
+    "Technology",
+    "TECH_130NM",
+    "TECH_180NM",
+    "TECH_250NM",
+]

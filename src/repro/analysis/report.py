@@ -1,0 +1,99 @@
+"""ASCII table / series formatting for benches and examples.
+
+Everything the benches print goes through these helpers so that the
+regenerated tables visually mirror the paper's layout and the bench
+output stays grep-friendly (``paper=... measured=...`` pairs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a boxed, column-aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(
+        "|" + "|".join(f" {h:<{w}} " for h, w in zip(headers, widths)) + "|"
+    )
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            "|" + "|".join(f" {c:>{w}} " for c, w in zip(row, widths)) + "|"
+        )
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    y_scale: float = 1.0,
+) -> str:
+    """Render an (x, y) series as aligned columns (one figure curve)."""
+    if len(xs) != len(ys):
+        raise ConfigurationError("xs and ys must have equal length")
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x:>8.3f}  {y * y_scale:>12.4f}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    label: str, paper_value: float, measured_value: float, unit: str = ""
+) -> str:
+    """One grep-friendly ``paper vs measured`` line with the ratio."""
+    if paper_value:
+        ratio = measured_value / paper_value
+        ratio_s = f" (x{ratio:.2f})"
+    else:
+        ratio_s = ""
+    unit_s = f" {unit}" if unit else ""
+    return (
+        f"{label}: paper={paper_value:.4g}{unit_s} "
+        f"measured={measured_value:.4g}{unit_s}{ratio_s}"
+    )
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Cheap ASCII sparkline for example scripts."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    blocks = " .:-=+*#%@"
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(blocks) - 1))
+        out.append(blocks[idx])
+    return "".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

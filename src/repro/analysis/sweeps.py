@@ -1,0 +1,178 @@
+"""Throughput and port-count sweep harnesses (Fig. 9 / Fig. 10).
+
+The paper's evaluation sweeps two axes: traffic throughput (10-50%,
+measured at egress) and port count (4/8/16/32).  These helpers run the
+dynamic simulator across those grids and collect (throughput, power)
+series per architecture, the exact data behind the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.estimator import ARCHITECTURES, canonical_architecture
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_simulation
+from repro.tech import TECH_180NM, Technology
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulated operating point of one architecture."""
+
+    architecture: str
+    ports: int
+    offered_load: float
+    throughput: float
+    total_power_w: float
+    switch_power_w: float
+    wire_power_w: float
+    buffer_power_w: float
+    energy_per_bit_j: float
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "SweepPoint":
+        return cls(
+            architecture=result.architecture,
+            ports=result.ports,
+            offered_load=result.offered_load,
+            throughput=result.throughput,
+            total_power_w=result.total_power_w,
+            switch_power_w=result.switch_power_w,
+            wire_power_w=result.wire_power_w,
+            buffer_power_w=result.buffer_power_w,
+            energy_per_bit_j=result.energy_per_delivered_bit_j,
+        )
+
+
+@dataclass
+class ThroughputSweepResult:
+    """Power-vs-throughput series for one architecture and port count."""
+
+    architecture: str
+    ports: int
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def power_at_throughput(self, target: float) -> float:
+        """Linear interpolation of total power at an egress throughput.
+
+        Raises if the target lies outside the measured range (the
+        architecture saturated below it).
+        """
+        pts = sorted(self.points, key=lambda p: p.throughput)
+        xs = [p.throughput for p in pts]
+        ys = [p.total_power_w for p in pts]
+        if not xs:
+            raise ConfigurationError("empty sweep")
+        if target < xs[0] - 1e-9 or target > xs[-1] + 1e-9:
+            raise ConfigurationError(
+                f"throughput {target:.3f} outside measured range "
+                f"[{xs[0]:.3f}, {xs[-1]:.3f}] for {self.architecture}"
+            )
+        return float(np.interp(target, xs, ys))
+
+    @property
+    def max_throughput(self) -> float:
+        return max((p.throughput for p in self.points), default=0.0)
+
+
+@dataclass
+class PortSweepResult:
+    """Power-vs-ports at a fixed egress throughput (Fig. 10)."""
+
+    throughput: float
+    ports: list[int]
+    power_w: dict[str, dict[int, float]]
+
+    def gap(self, arch_a: str, arch_b: str, ports: int) -> float:
+        """Relative power gap ``(P_b - P_a) / P_b`` at a port count.
+
+        With the paper's pairing (a=fully connected, b=Batcher-Banyan)
+        this is the "37% at 4x4 -> 20% at 32x32" figure.
+        """
+        a = self.power_w[canonical_architecture(arch_a)][ports]
+        b = self.power_w[canonical_architecture(arch_b)][ports]
+        if b == 0:
+            raise ConfigurationError("zero reference power")
+        return (b - a) / b
+
+
+def throughput_sweep(
+    architecture: str,
+    ports: int,
+    loads: list[float] | None = None,
+    arrival_slots: int = 1200,
+    warmup_slots: int = 200,
+    seed: int = 12345,
+    tech: Technology = TECH_180NM,
+    **runner_kwargs,
+) -> ThroughputSweepResult:
+    """Run one architecture across offered loads; collect the series.
+
+    ``loads`` defaults to a grid covering the paper's 10-50% egress
+    range with headroom for saturation effects.
+    """
+    arch = canonical_architecture(architecture)
+    if loads is None:
+        loads = [0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55]
+    result = ThroughputSweepResult(architecture=arch, ports=ports)
+    for load in loads:
+        sim = run_simulation(
+            arch,
+            ports,
+            load=load,
+            arrival_slots=arrival_slots,
+            warmup_slots=warmup_slots,
+            seed=seed,
+            tech=tech,
+            **runner_kwargs,
+        )
+        result.points.append(SweepPoint.from_result(sim))
+    return result
+
+
+def port_sweep(
+    throughput: float = 0.50,
+    ports_list: list[int] | None = None,
+    architectures: tuple[str, ...] = ARCHITECTURES,
+    arrival_slots: int = 1200,
+    warmup_slots: int = 200,
+    seed: int = 12345,
+    tech: Technology = TECH_180NM,
+    **runner_kwargs,
+) -> PortSweepResult:
+    """Fig. 10 harness: power of each architecture vs port count.
+
+    Each architecture is swept in offered load and its power is
+    interpolated at the target egress ``throughput``; architectures that
+    saturate below the target report their power at saturation (the
+    closest physically achievable point), mirroring how a measured
+    curve would be read off.
+    """
+    if ports_list is None:
+        ports_list = [4, 8, 16, 32]
+    power: dict[str, dict[int, float]] = {}
+    for arch in architectures:
+        arch = canonical_architecture(arch)
+        power[arch] = {}
+        for ports in ports_list:
+            sweep = throughput_sweep(
+                arch,
+                ports,
+                arrival_slots=arrival_slots,
+                warmup_slots=warmup_slots,
+                seed=seed,
+                tech=tech,
+                **runner_kwargs,
+            )
+            if sweep.max_throughput >= throughput:
+                power[arch][ports] = sweep.power_at_throughput(throughput)
+            else:
+                saturated = max(sweep.points, key=lambda p: p.throughput)
+                power[arch][ports] = saturated.total_power_w
+    return PortSweepResult(
+        throughput=throughput, ports=list(ports_list), power_w=power
+    )

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``estimate``   closed-form power estimate (Eq. 3-6 + Tables 1-2).
+``simulate``   bit-accurate simulation of one operating point.
+``sweep``      Fig. 9-style throughput sweep for one architecture.
+``table1``     regenerate Table 1 via gate-level characterisation.
+``table2``     regenerate Table 2 via the SRAM model.
+
+Examples
+--------
+::
+
+    python -m repro estimate --arch banyan --ports 32 --throughput 0.3
+    python -m repro simulate --arch crossbar --ports 16 --load 0.4 --slots 2000
+    python -m repro sweep --arch batcher_banyan --ports 8
+    python -m repro table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+from repro.core import tables
+from repro.core.estimator import ARCHITECTURES, estimate_power
+from repro.sim.runner import run_simulation
+from repro.units import to_mW, to_pJ
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arch",
+        default="crossbar",
+        help=f"architecture: one of {', '.join(ARCHITECTURES)} (or aliases)",
+    )
+    parser.add_argument("--ports", type=int, default=16, help="port count")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Switch-fabric power analysis (Ye/Benini/De Micheli, DAC 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    est = sub.add_parser("estimate", help="closed-form power estimate")
+    _add_common(est)
+    est.add_argument("--throughput", type=float, default=0.3)
+
+    sim = sub.add_parser("simulate", help="bit-accurate simulation")
+    _add_common(sim)
+    sim.add_argument("--load", type=float, default=0.3, help="offered load")
+    sim.add_argument("--slots", type=int, default=1000, help="arrival slots")
+    sim.add_argument("--warmup", type=int, default=200)
+    sim.add_argument("--seed", type=int, default=12345)
+    sim.add_argument(
+        "--wire-mode", choices=("worst_case", "per_link"), default="worst_case"
+    )
+
+    sweep = sub.add_parser("sweep", help="throughput sweep (Fig. 9 style)")
+    _add_common(sweep)
+    sweep.add_argument("--slots", type=int, default=600)
+    sweep.add_argument("--seed", type=int, default=12345)
+    sweep.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=[0.1, 0.2, 0.3, 0.4, 0.5],
+    )
+
+    t1 = sub.add_parser("table1", help="regenerate Table 1 (gate level)")
+    t1.add_argument("--cycles", type=int, default=192)
+
+    sub.add_parser("table2", help="regenerate Table 2 (SRAM model)")
+    return parser
+
+
+def cmd_estimate(args) -> int:
+    est = estimate_power(args.arch, args.ports, args.throughput)
+    print(f"{est.architecture} {est.ports}x{est.ports} "
+          f"@ {est.throughput:.0%} throughput")
+    print(f"  E_bit   : {to_pJ(est.bit_energy_j):.2f} pJ/bit "
+          f"(switch {to_pJ(est.switch_energy_j):.2f}, "
+          f"wire {to_pJ(est.wire_energy_j):.2f}, "
+          f"buffer {to_pJ(est.buffer_energy_j):.2f})")
+    print(f"  power   : {to_mW(est.total_power_w):.3f} mW")
+    print(f"  dominant: {est.dominant_component}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    result = run_simulation(
+        args.arch,
+        args.ports,
+        load=args.load,
+        arrival_slots=args.slots,
+        warmup_slots=args.warmup,
+        seed=args.seed,
+        wire_mode=args.wire_mode,
+    )
+    print(result.summary())
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.analysis.sweeps import throughput_sweep
+
+    sweep = throughput_sweep(
+        args.arch,
+        args.ports,
+        loads=args.loads,
+        arrival_slots=args.slots,
+        warmup_slots=args.slots // 5,
+        seed=args.seed,
+    )
+    rows = [
+        [f"{p.offered_load:.2f}", f"{p.throughput:.3f}",
+         f"{to_mW(p.total_power_w):.4f}",
+         f"{to_mW(p.switch_power_w):.4f}",
+         f"{to_mW(p.wire_power_w):.4f}",
+         f"{to_mW(p.buffer_power_w):.4f}"]
+        for p in sweep.points
+    ]
+    print(
+        format_table(
+            ["offered", "throughput", "total mW", "switch", "wire", "buffer"],
+            rows,
+            title=f"{sweep.architecture} {args.ports}x{args.ports}",
+        )
+    )
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.gatesim.characterize import regenerate_table1
+    from repro.units import to_fJ
+
+    result = regenerate_table1(cycles=args.cycles)
+    rows = [
+        [key, f"{to_fJ(result['raw'][key]):.0f}",
+         f"{to_fJ(result['calibrated'][key]):.0f}",
+         f"{to_fJ(result['reference'][key]):.0f}"]
+        for key in sorted(result["raw"])
+    ]
+    print(
+        format_table(
+            ["entry", "raw fJ", "calibrated fJ", "paper fJ"],
+            rows,
+            title=f"Table 1 (calibration x{result['scale']:.2f})",
+        )
+    )
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.memmodel import SramMacro
+
+    rows = []
+    for ports in (4, 8, 16, 32, 64):
+        macro = SramMacro.for_banyan(ports)
+        paper = tables.BANYAN_BUFFER_ENERGY_BY_PORTS.get(ports)
+        rows.append(
+            [f"{ports}x{ports}", macro.size_bits // 1024,
+             f"{to_pJ(macro.access_energy_per_bit_j):.1f}",
+             f"{to_pJ(paper):.0f}" if paper else "-"]
+        )
+    print(
+        format_table(
+            ["size", "SRAM Kbit", "model pJ/bit", "paper pJ/bit"],
+            rows,
+            title="Table 2",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "estimate": cmd_estimate,
+    "simulate": cmd_simulate,
+    "sweep": cmd_sweep,
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

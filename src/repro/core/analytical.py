@@ -1,0 +1,218 @@
+"""Closed-form worst-case bit energies (paper Eq. 3-6).
+
+These are the per-bit energies of the four analysed fabrics as published,
+parameterised on the Table 1 LUT values and the per-grid wire energy
+``E_T``.  They describe the *worst case* path (longest wires, every wire
+bit flipping, buffer hit at every contended stage) and are used:
+
+* as a fast sanity envelope for the dynamic simulation (measured per-bit
+  energy must not exceed the worst case);
+* by the analytical estimator (:mod:`repro.core.estimator`) with
+  activity-derating factors applied.
+
+All functions return joules per bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.bit_energy import MuxEnergyLUT, SwitchEnergyLUT
+from repro.errors import ConfigurationError
+
+
+def _require_power_of_two(ports: int, minimum: int) -> int:
+    """Validate a port count and return ``n = log2(ports)``."""
+    if ports < minimum or ports & (ports - 1):
+        raise ConfigurationError(
+            f"ports must be a power of two >= {minimum}, got {ports}"
+        )
+    return ports.bit_length() - 1
+
+
+def bit_energy_crossbar(
+    ports: int,
+    switch_energy_j: float,
+    grid_energy_j: float,
+) -> float:
+    """Eq. 3: ``E_bit = N * E_S + 8N * E_T``.
+
+    A bit from input *i* to output *j* drives the full row wire (length
+    ``4N`` grids), the full column wire (another ``4N``), and toggles the
+    input gates of all ``N`` crosspoints on the row.
+
+    Parameters
+    ----------
+    ports: number of input (= output) ports N.
+    switch_energy_j: ``E_S`` of one crosspoint (Table 1: 220 fJ).
+    grid_energy_j: ``E_T`` per-grid wire energy (Section 5.1: 87 fJ).
+    """
+    if ports < 1:
+        raise ConfigurationError(f"crossbar needs >= 1 port, got {ports}")
+    return ports * switch_energy_j + 8 * ports * grid_energy_j
+
+
+def bit_energy_fully_connected(
+    ports: int,
+    mux_energy_j: float,
+    grid_energy_j: float,
+) -> float:
+    """Eq. 4: ``E_bit = E_S(mux) + 1/2 * N^2 * E_T``.
+
+    Each bit crosses exactly one N-input MUX; the Thompson embedding
+    (MUXes in a double row) makes the input-to-MUX bus about ``N^2 / 2``
+    grids long.
+    """
+    if ports < 2:
+        raise ConfigurationError(f"fully connected needs >= 2 ports, got {ports}")
+    return mux_energy_j + 0.5 * ports * ports * grid_energy_j
+
+
+def banyan_wire_grids(ports: int) -> int:
+    """Worst-case Banyan wire length in grids: ``4 * sum(2^i) = 4(N-1)``."""
+    n = _require_power_of_two(ports, 2)
+    return 4 * sum(2**i for i in range(n))
+
+
+def bit_energy_banyan(
+    ports: int,
+    switch_energy_j: float,
+    grid_energy_j: float,
+    buffer_energy_j: float = 0.0,
+    contentions: int | None = None,
+) -> float:
+    """Eq. 5: ``E_bit = sum(q_i * E_B) + 4 * sum(2^i * E_T) + n * E_S``.
+
+    Parameters
+    ----------
+    ports: N (power of two, >= 2).
+    switch_energy_j: ``E_S`` of the 2x2 binary switch.
+    grid_energy_j: ``E_T``.
+    buffer_energy_j: ``E_B`` per buffered bit (Table 2).
+    contentions: number of stages at which the bit loses contention
+        (the ``q_i`` sum); defaults to the worst case of every stage.
+    """
+    n = _require_power_of_two(ports, 2)
+    if contentions is None:
+        contentions = n
+    if not 0 <= contentions <= n:
+        raise ConfigurationError(
+            f"contentions must be in [0, {n}], got {contentions}"
+        )
+    wire = banyan_wire_grids(ports) * grid_energy_j
+    return contentions * buffer_energy_j + wire + n * switch_energy_j
+
+
+def batcher_wire_grids(ports: int) -> int:
+    """Worst-case Batcher sorter wire grids: ``4 * sum_j sum_{i<=j} 2^i``."""
+    n = _require_power_of_two(ports, 4)
+    return 4 * sum(sum(2**i for i in range(j + 1)) for j in range(n))
+
+
+def batcher_stage_count(ports: int) -> int:
+    """Number of sorting stages: ``n(n+1)/2`` with ``n = log2(N)``."""
+    n = _require_power_of_two(ports, 4)
+    return n * (n + 1) // 2
+
+
+def bit_energy_batcher_banyan(
+    ports: int,
+    sorting_switch_energy_j: float,
+    binary_switch_energy_j: float,
+    grid_energy_j: float,
+) -> float:
+    """Eq. 6: worst-case bit energy of the Batcher-Banyan fabric.
+
+    ``E_bit = 4*sum_j sum_{i<=j} 2^i * E_T   (sorter wires)
+            + 4*sum_i 2^i * E_T              (banyan wires)
+            + n(n+1)/2 * E_SS                (sorting switches)
+            + n * E_SB                       (binary switches)``
+
+    There is no buffer term: after sorting, paths are contention free.
+    """
+    n = _require_power_of_two(ports, 4)
+    wires = (batcher_wire_grids(ports) + banyan_wire_grids(ports)) * grid_energy_j
+    switches = batcher_stage_count(ports) * sorting_switch_energy_j
+    switches += n * binary_switch_energy_j
+    return wires + switches
+
+
+def worst_case_bit_energy(
+    architecture: str,
+    ports: int,
+    grid_energy_j: float,
+    switch_lut: SwitchEnergyLUT | None = None,
+    sorting_lut: SwitchEnergyLUT | None = None,
+    buffer_energy_j: float = 0.0,
+) -> float:
+    """Dispatch Eq. 3-6 by architecture name.
+
+    ``architecture`` is one of ``"crossbar"``, ``"fully_connected"``,
+    ``"banyan"``, ``"batcher_banyan"``.  LUTs default to the paper's
+    Table 1 models.
+    """
+    arch = architecture.lower().replace("-", "_").replace(" ", "_")
+    if arch == "crossbar":
+        lut = switch_lut or SwitchEnergyLUT.crossbar_crosspoint()
+        return bit_energy_crossbar(ports, lut.lookup((1,)), grid_energy_j)
+    if arch in ("fully_connected", "fullyconnected", "fully_conn"):
+        lut = switch_lut or MuxEnergyLUT(ports)
+        return bit_energy_fully_connected(
+            ports, lut.energy_per_bit(1), grid_energy_j
+        )
+    if arch == "banyan":
+        lut = switch_lut or SwitchEnergyLUT.banyan_binary()
+        return bit_energy_banyan(
+            ports,
+            lut.lookup((1, 0)),
+            grid_energy_j,
+            buffer_energy_j=buffer_energy_j,
+        )
+    if arch in ("batcher_banyan", "batcherbanyan", "batcher"):
+        sort = sorting_lut or SwitchEnergyLUT.batcher_sorting()
+        binary = switch_lut or SwitchEnergyLUT.banyan_binary()
+        return bit_energy_batcher_banyan(
+            ports,
+            sort.lookup((1, 0)),
+            binary.lookup((1, 0)),
+            grid_energy_j,
+        )
+    raise ConfigurationError(f"unknown architecture {architecture!r}")
+
+
+def dominant_component(
+    architecture: str,
+    ports: int,
+    grid_energy_j: float,
+    flip_fraction: float = 0.5,
+) -> str:
+    """Which component dominates the bit energy: "wires" or "switches".
+
+    Used to check the paper's Observation 2 (switch domination at small
+    N shifting to wire domination at large N).  Wire energy is derated
+    by ``flip_fraction`` because only polarity flips dissipate; the 0.5
+    default matches random payloads, i.e. the *measured* regime the
+    observation describes.  Pass 1.0 for the worst-case view.
+    """
+    arch = architecture.lower().replace("-", "_").replace(" ", "_")
+    if not 0.0 <= flip_fraction <= 1.0:
+        raise ConfigurationError("flip_fraction must be in [0, 1]")
+    if arch == "crossbar":
+        wire = 8 * ports * grid_energy_j
+        switch = ports * SwitchEnergyLUT.crossbar_crosspoint().lookup((1,))
+    elif arch in ("fully_connected", "fullyconnected", "fully_conn"):
+        wire = 0.5 * ports * ports * grid_energy_j
+        switch = MuxEnergyLUT(ports).energy_per_bit(1)
+    elif arch == "banyan":
+        wire = banyan_wire_grids(ports) * grid_energy_j
+        n = int(math.log2(ports))
+        switch = n * SwitchEnergyLUT.banyan_binary().lookup((1, 0))
+    elif arch in ("batcher_banyan", "batcherbanyan", "batcher"):
+        n = int(math.log2(ports))
+        wire = (batcher_wire_grids(ports) + banyan_wire_grids(ports)) * grid_energy_j
+        switch = batcher_stage_count(ports) * SwitchEnergyLUT.batcher_sorting().lookup(
+            (1, 0)
+        ) + n * SwitchEnergyLUT.banyan_binary().lookup((1, 0))
+    else:
+        raise ConfigurationError(f"unknown architecture {architecture!r}")
+    return "wires" if wire * flip_fraction > switch else "switches"

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A model or simulation was configured with invalid parameters."""
+
+
+class TopologyError(ReproError):
+    """A switch-fabric topology is malformed or unsupported.
+
+    Raised, for example, when a Banyan network is requested with a port
+    count that is not a power of two, or when a routing step would leave
+    the fabric.
+    """
+
+
+class EmbeddingError(ReproError):
+    """A Thompson grid embedding could not be constructed."""
+
+
+class SimulationError(ReproError):
+    """The dynamic simulation reached an inconsistent state.
+
+    This always indicates a bug (e.g. two cells occupying one latch) and
+    is used by internal invariant checks.
+    """
+
+
+class CharacterizationError(ReproError):
+    """Gate-level characterisation failed (bad netlist, missing ports...)."""

@@ -1,0 +1,324 @@
+"""Banyan switch fabric with node buffers (paper Section 4.3).
+
+``n = log2 N`` stages of 2x2 self-routing switches.  Cells advance one
+stage per slot through input latches; when two cells at a switch demand
+the same output, the loser is written into the switch's node buffer
+(the paper's 4 Kbit shared-SRAM queue) and retried in later slots —
+that write/read traffic is the "buffer penalty" that dominates Banyan
+power at high load (Fig. 9).
+
+Mechanics per slot (processed egress stage first so downstream latches
+free up before upstream movement):
+
+1. Candidates at a switch: the node-buffer head plus the two input
+   latches, prioritised buffer-first (FIFO progress guarantee), then by
+   fabric entry time, then input index.
+2. Each candidate demands the output line given by the self-routing
+   rule (:func:`repro.fabrics.topology.route_line`).  One winner per
+   output; winners advance if the downstream latch is free, and pay
+   switch + wire energy.
+3. Latch cells that lost (or could not advance) move into the node
+   buffer, paying the per-bit write energy — if the buffer is full they
+   stall in the latch, back-pressuring the upstream stage.
+4. Buffered cells pay read energy when they finally advance, and
+   refresh energy per resident slot when the buffer model is DRAM.
+
+Destination contention never enters the fabric (arbiter property), so
+all buffering measured here is interconnect contention, as the paper's
+methodology requires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.bit_energy import EnergyModelSet
+from repro.errors import ConfigurationError, SimulationError
+from repro.fabrics import topology
+from repro.fabrics.base import SwitchFabric
+from repro.router.cells import Cell, CellFormat
+from repro.thompson.layouts import BanyanLayout
+
+
+@dataclass
+class _BufferedCell:
+    """A cell parked in a node buffer, remembering its entry input."""
+
+    cell: Cell
+    input_index: int
+    entered_slot: int
+
+
+class _NodeSwitch:
+    """State of one 2x2 switch: two input latches plus a FIFO buffer."""
+
+    __slots__ = ("latches", "buffer", "buffer_bits")
+
+    def __init__(self) -> None:
+        self.latches: list[Cell | None] = [None, None]
+        self.buffer: deque[_BufferedCell] = deque()
+        self.buffer_bits = 0
+
+
+class BanyanFabric(SwitchFabric):
+    """Dynamic banyan model with node buffers and backpressure.
+
+    Parameters
+    ----------
+    buffer_cells_per_switch:
+        Node buffer capacity in cells; the paper's 4 Kbit queue holds 8
+        of the default 512-bit cells.
+    """
+
+    architecture = "banyan"
+
+    def __init__(
+        self,
+        ports: int,
+        models: EnergyModelSet,
+        cell_format: CellFormat | None = None,
+        wire_mode: str = "worst_case",
+        buffer_cells_per_switch: int = 8,
+    ) -> None:
+        super().__init__(ports, models, cell_format, wire_mode)
+        if models.buffer is None:
+            raise ConfigurationError("BanyanFabric requires a buffer model")
+        if buffer_cells_per_switch < 1:
+            raise ConfigurationError("buffer_cells_per_switch must be >= 1")
+        self.stages = topology.stage_count(ports)
+        self.layout = BanyanLayout(ports)
+        self.buffer_cells_per_switch = buffer_cells_per_switch
+        self._switch_lut = models.switch
+        # _switches[stage][k]
+        self._switches: list[list[_NodeSwitch]] = [
+            [_NodeSwitch() for _ in range(ports // 2)] for _ in range(self.stages)
+        ]
+        self._in_flight = 0
+        self._buffer_occupancy_peak = 0
+
+    @classmethod
+    def with_default_models(cls, ports: int, **kwargs) -> "BanyanFabric":
+        """Construct with Table 1 switch LUT and Table 2 buffer model."""
+        from repro.fabrics.factory import default_models
+
+        return cls(ports, default_models("banyan", ports), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Engine interface
+    # ------------------------------------------------------------------
+
+    def can_admit(self, input_port: int) -> bool:
+        """A cell may enter only if its stage-0 input latch is free."""
+        super().can_admit(input_port)
+        switch = self._entry_switch(input_port)
+        input_index = topology.switch_input_index(self.ports, 0, input_port)
+        return switch.latches[input_index] is None
+
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def buffer_occupancy_peak_cells(self) -> int:
+        """High-water mark of any single node buffer, in cells."""
+        return self._buffer_occupancy_peak
+
+    def advance_slot(self, admitted: Mapping[int, Cell], slot: int) -> list[Cell]:
+        """One slot: move resident cells a stage, then admit new ones."""
+        self._validate_admitted(admitted)
+        delivered: list[Cell] = []
+        # Egress stage first so winners upstream find latches free.
+        for stage in range(self.stages - 1, -1, -1):
+            self._advance_stage(stage, slot, delivered)
+        self._admit(admitted, slot)
+        self._refresh_all()
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _entry_switch(self, line: int) -> _NodeSwitch:
+        return self._switches[0][topology.switch_index(self.ports, 0, line)]
+
+    def _admit(self, admitted: Mapping[int, Cell], slot: int) -> None:
+        for port in sorted(admitted):
+            cell = admitted[port]
+            switch = self._entry_switch(port)
+            input_index = topology.switch_input_index(self.ports, 0, port)
+            if switch.latches[input_index] is not None:
+                raise SimulationError(
+                    f"admission to occupied latch at port {port}; the engine "
+                    "must respect can_admit()"
+                )
+            cell.entered_fabric_slot = slot
+            self._charge_wire(
+                ("ingress", port),
+                cell.words,
+                self.layout.edge_link_grids(),
+                f"banyan.ingress{port}",
+            )
+            switch.latches[input_index] = cell
+            self._in_flight += 1
+
+    def _advance_stage(self, stage: int, slot: int, delivered: list[Cell]) -> None:
+        ports = self.ports
+        for k, switch in enumerate(self._switches[stage]):
+            lines = topology.switch_lines(ports, stage, k)
+            candidates = self._collect_candidates(switch, lines, slot)
+            if not candidates:
+                continue
+            winners, losers = self._resolve_contention(stage, lines, candidates)
+            served_vector = [0, 0]
+            for out_line, (origin, input_index, cell) in winners.items():
+                moved = self._try_move(
+                    stage, k, switch, origin, input_index, cell, out_line,
+                    delivered, slot,
+                )
+                if moved:
+                    served_vector[input_index] = 1
+                else:
+                    losers.append((origin, input_index, cell))
+            if any(served_vector):
+                self._charge_switch(
+                    f"banyan.stage{stage}.sw{k}",
+                    self._switch_lut,
+                    tuple(served_vector),
+                    self.cell_format.words,
+                )
+            for origin, input_index, cell in losers:
+                self._park_loser(stage, k, switch, origin, input_index, cell, slot)
+
+    def _collect_candidates(
+        self, switch: _NodeSwitch, lines: tuple[int, int], slot: int
+    ) -> list[tuple[str, int, Cell]]:
+        """Priority-ordered movement candidates at one switch.
+
+        Entries are ``(origin, input_index, cell)`` with origin
+        ``"buffer"`` or ``"latch"``; the buffer head comes first (FIFO
+        progress), then latch cells ordered by fabric entry slot and
+        input index (FCFS tie-broken deterministically).
+        """
+        candidates: list[tuple[str, int, Cell]] = []
+        if switch.buffer:
+            head = switch.buffer[0]
+            candidates.append(("buffer", head.input_index, head.cell))
+        latch_entries = []
+        for input_index, cell in enumerate(switch.latches):
+            if cell is not None:
+                entered = cell.entered_fabric_slot
+                entered = slot if entered is None else entered
+                latch_entries.append((entered, input_index, cell))
+        latch_entries.sort(key=lambda item: (item[0], item[1]))
+        candidates.extend(
+            ("latch", input_index, cell) for _, input_index, cell in latch_entries
+        )
+        return candidates
+
+    def _resolve_contention(
+        self,
+        stage: int,
+        lines: tuple[int, int],
+        candidates: list[tuple[str, int, Cell]],
+    ) -> tuple[dict[int, tuple[str, int, Cell]], list[tuple[str, int, Cell]]]:
+        """Assign at most one winner per output line; rest are losers."""
+        winners: dict[int, tuple[str, int, Cell]] = {}
+        losers: list[tuple[str, int, Cell]] = []
+        for origin, input_index, cell in candidates:
+            in_line = lines[input_index]
+            out_line = topology.route_line(
+                self.ports, stage, in_line, cell.dest_port
+            )
+            if out_line in winners:
+                losers.append((origin, input_index, cell))
+                self.ledger.count("contentions", 1)
+            else:
+                winners[out_line] = (origin, input_index, cell)
+        return winners, losers
+
+    def _try_move(
+        self,
+        stage: int,
+        k: int,
+        switch: _NodeSwitch,
+        origin: str,
+        input_index: int,
+        cell: Cell,
+        out_line: int,
+        delivered: list[Cell],
+        slot: int,
+    ) -> bool:
+        """Advance a winner downstream (or deliver); False if blocked."""
+        ports = self.ports
+        last_stage = stage == self.stages - 1
+        if not last_stage:
+            next_switch = self._switches[stage + 1][
+                topology.switch_index(ports, stage + 1, out_line)
+            ]
+            next_input = topology.switch_input_index(ports, stage + 1, out_line)
+            if next_switch.latches[next_input] is not None:
+                self.ledger.count("blocked_advances", 1)
+                return False
+        # Departure from the buffer pays the read half of E_access.
+        if origin == "buffer":
+            entry = switch.buffer.popleft()
+            if entry.cell is not cell:  # pragma: no cover - invariant
+                raise SimulationError("buffer head changed during resolution")
+            switch.buffer_bits -= self.cell_bits
+            self._charge_buffer_read(f"banyan.stage{stage}.sw{k}", self.cell_bits)
+        else:
+            switch.latches[input_index] = None
+        in_line = topology.switch_lines(ports, stage, k)[input_index]
+        was_crossed = topology.crossed(ports, stage, in_line, out_line)
+        bit_index = topology.stage_bit(ports, stage)
+        grids = self.layout.link_grids(bit_index, was_crossed, mode=self.wire_mode)
+        self._charge_wire(
+            ("stage_out", stage, out_line),
+            cell.words,
+            grids,
+            f"banyan.stage{stage}.out{out_line}",
+        )
+        if last_stage:
+            delivered.append(cell)
+            self.ledger.count("cells_delivered", 1)
+            self._in_flight -= 1
+        else:
+            next_switch.latches[next_input] = cell
+        return True
+
+    def _park_loser(
+        self,
+        stage: int,
+        k: int,
+        switch: _NodeSwitch,
+        origin: str,
+        input_index: int,
+        cell: Cell,
+        slot: int,
+    ) -> None:
+        """Move a losing latch cell into the node buffer (if space)."""
+        if origin == "buffer":
+            return  # stays at the buffer head; no new energy
+        if len(switch.buffer) >= self.buffer_cells_per_switch:
+            self.ledger.count("buffer_full_stalls", 1)
+            return  # stalls in the latch, back-pressuring upstream
+        switch.latches[input_index] = None
+        switch.buffer.append(_BufferedCell(cell, input_index, slot))
+        switch.buffer_bits += self.cell_bits
+        self._buffer_occupancy_peak = max(
+            self._buffer_occupancy_peak, len(switch.buffer)
+        )
+        self._charge_buffer_write(f"banyan.stage{stage}.sw{k}", self.cell_bits)
+        self.ledger.count("cells_buffered", 1)
+
+    def _refresh_all(self) -> None:
+        """Charge one slot of refresh energy for resident buffered bits."""
+        if self.models.buffer is None or self.models.buffer.refresh_energy_j == 0:
+            return
+        for stage, row in enumerate(self._switches):
+            for k, switch in enumerate(row):
+                if switch.buffer_bits:
+                    self._charge_refresh(
+                        f"banyan.stage{stage}.sw{k}", switch.buffer_bits
+                    )

@@ -1,0 +1,210 @@
+"""Dynamic switch-fabric interface and shared energy accounting.
+
+A fabric is a slotted cell-transport machine: each slot the engine hands
+it the arbiter's grants (``input port -> cell``, destinations pairwise
+distinct) and receives the cells that reached their egress ports.  All
+energy bookkeeping — node switches, wires, buffers — happens inside
+``advance_slot`` against the fabric's ledger and wire tracer, following
+the paper's three bit-energy components.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.core.bit_energy import EnergyModelSet, SwitchEnergyLUT
+from repro.errors import ConfigurationError, SimulationError
+from repro.router.cells import Cell, CellFormat
+from repro.sim import ledger as ledger_categories
+from repro.sim.ledger import EnergyLedger
+from repro.sim.tracer import WireTracer
+
+
+class SwitchFabric(ABC):
+    """Base class of the four architectures (and any custom fabric).
+
+    Parameters
+    ----------
+    ports:
+        Number of ingress (= egress) ports.
+    models:
+        Energy models: node-switch LUT(s), wire model, optional buffer.
+    cell_format:
+        Bus geometry of the cells this fabric will transport.
+    wire_mode:
+        ``"worst_case"`` (paper Eq. 3-6 lengths, default) or
+        ``"per_link"`` (straight links pay only the inter-stage pitch).
+    """
+
+    #: Canonical architecture name; subclasses override.
+    architecture: str = "abstract"
+
+    def __init__(
+        self,
+        ports: int,
+        models: EnergyModelSet,
+        cell_format: CellFormat | None = None,
+        wire_mode: str = "worst_case",
+    ) -> None:
+        if ports < 2:
+            raise ConfigurationError("a fabric needs at least 2 ports")
+        if wire_mode not in ("worst_case", "per_link"):
+            raise ConfigurationError(
+                f"wire_mode must be 'worst_case' or 'per_link', got {wire_mode!r}"
+            )
+        self.ports = ports
+        self.models = models
+        self.cell_format = cell_format or CellFormat()
+        self.wire_mode = wire_mode
+        self.ledger = EnergyLedger()
+        self.tracer = WireTracer(self.cell_format.bus_width)
+        #: Wall-clock duration of one slot; set via :meth:`configure_timing`.
+        self.slot_seconds: float | None = None
+
+    # ------------------------------------------------------------------
+    # Engine interface
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def advance_slot(self, admitted: Mapping[int, Cell], slot: int) -> list[Cell]:
+        """Transport cells for one slot; return cells delivered to egress.
+
+        ``admitted`` maps input port to the cell granted by the arbiter
+        this slot.  Implementations must record all dissipated energy in
+        ``self.ledger`` / ``self.tracer``.
+        """
+
+    def can_admit(self, input_port: int) -> bool:
+        """Whether a new cell may enter at ``input_port`` this slot.
+
+        Pass-through fabrics always accept; the Banyan refuses while the
+        port's stage-0 entry latch is still occupied (backpressure).
+        """
+        if not 0 <= input_port < self.ports:
+            raise ConfigurationError(f"input port {input_port} out of range")
+        return True
+
+    def in_flight(self) -> int:
+        """Cells currently inside the fabric (0 for pass-through)."""
+        return 0
+
+    def configure_timing(self, slot_seconds: float) -> None:
+        """Tell the fabric how long a slot lasts (for refresh energy)."""
+        if slot_seconds <= 0:
+            raise ConfigurationError("slot_seconds must be positive")
+        self.slot_seconds = slot_seconds
+
+    def reset_measurements(self) -> None:
+        """Zero energy/counters without touching electrical/cell state.
+
+        Called at warmup end so steady-state statistics exclude the
+        cold-start transient.
+        """
+        self.ledger.reset()
+        self.tracer.reset(keep_states=True)
+
+    # ------------------------------------------------------------------
+    # Shared accounting helpers
+    # ------------------------------------------------------------------
+
+    def _validate_admitted(self, admitted: Mapping[int, Cell]) -> None:
+        """Check the arbiter respected the destination-contention rule."""
+        dests = [cell.dest_port for cell in admitted.values()]
+        if len(dests) != len(set(dests)):
+            raise SimulationError(
+                "arbiter granted two cells for one egress port; "
+                "destination contention must be resolved before the fabric"
+            )
+        for port, cell in admitted.items():
+            if not 0 <= port < self.ports:
+                raise SimulationError(f"admission on bad port {port}")
+            if not 0 <= cell.dest_port < self.ports:
+                raise SimulationError(f"cell bound for bad port {cell.dest_port}")
+            if cell.word_count != self.cell_format.words:
+                raise SimulationError(
+                    f"cell has {cell.word_count} words, fabric expects "
+                    f"{self.cell_format.words}"
+                )
+
+    def _charge_switch(
+        self,
+        component: str,
+        lut: SwitchEnergyLUT,
+        vector: tuple[int, ...],
+        cell_words: int,
+        multiplier: int = 1,
+    ) -> None:
+        """Record node-switch energy for one slot of activity.
+
+        ``E = E_S(vector) * bus_width * cell_words * multiplier`` — the
+        LUT value is per bit-slot of the whole switch and the cell
+        streams ``cell_words`` words over ``bus_width`` lanes.
+        ``multiplier`` charges several identical switches at once (the
+        crossbar's ``N`` row crosspoints).
+        """
+        energy = lut.lookup(vector) * self.cell_format.bus_width * cell_words
+        self.ledger.add(ledger_categories.SWITCH, component, energy * multiplier)
+        self.ledger.count("switch_traversals", sum(vector) * multiplier)
+
+    def _charge_wire(
+        self, link: Hashable, words: np.ndarray, grids: float, component: str
+    ) -> int:
+        """Stream ``words`` over ``link`` and record flip energy.
+
+        Energy = flips x grids x E_T (Eq. 2 with C_W proportional to
+        length).  Returns the flip count.
+        """
+        flips = self.tracer.transfer(link, words)
+        energy = flips * grids * self.models.grid_energy_j
+        self.ledger.add(ledger_categories.WIRE, component, energy)
+        self.ledger.count("wire_flips", flips)
+        return flips
+
+    def _charge_buffer_write(self, component: str, bits: int) -> None:
+        if self.models.buffer is None:
+            raise SimulationError(
+                f"{self.architecture} tried to buffer a cell but has no "
+                "buffer energy model"
+            )
+        self.ledger.add(
+            ledger_categories.BUFFER,
+            component,
+            self.models.buffer.write_energy_j(bits),
+        )
+        self.ledger.count("buffer_writes", 1)
+        self.ledger.count("buffered_bits", bits)
+
+    def _charge_buffer_read(self, component: str, bits: int) -> None:
+        if self.models.buffer is None:
+            raise SimulationError(
+                f"{self.architecture} tried to read a buffer but has no "
+                "buffer energy model"
+            )
+        self.ledger.add(
+            ledger_categories.BUFFER,
+            component,
+            self.models.buffer.read_energy_j(bits),
+        )
+        self.ledger.count("buffer_reads", 1)
+
+    def _charge_refresh(self, component: str, bits_stored: int) -> None:
+        """Record one slot's refresh energy for resident buffered bits."""
+        if self.models.buffer is None or bits_stored == 0:
+            return
+        if self.slot_seconds is None:
+            return
+        energy = self.models.buffer.refresh_energy_for(
+            bits_stored, self.slot_seconds
+        )
+        self.ledger.add(ledger_categories.REFRESH, component, energy)
+
+    @property
+    def cell_bits(self) -> int:
+        """Bits per cell on this fabric's bus."""
+        return self.cell_format.cell_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(ports={self.ports}, wire_mode={self.wire_mode!r})"

@@ -1,0 +1,191 @@
+"""Batcher-Banyan switch fabric (paper Section 4.4).
+
+A bitonic sorting network (``n(n+1)/2`` substages of 2x2 sorting
+switches) concentrates and orders each slot's batch of cells by
+destination; the banyan behind it then routes the monotone batch with
+**zero** internal conflicts, so the fabric carries no buffers and Eq. 6
+has no ``E_B`` term.  The price is the extra sorting stages' switch and
+wire energy.
+
+The conflict-freedom is asserted at runtime: if the banyan pass ever
+sees two cells on one line the fabric raises
+:class:`~repro.errors.SimulationError`, because that would falsify the
+architecture's defining property (property-tested in the suite).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.bit_energy import EnergyModelSet
+from repro.errors import ConfigurationError, SimulationError
+from repro.fabrics import topology
+from repro.fabrics.base import SwitchFabric
+from repro.fabrics.batcher import SorterSubstage, bitonic_schedule
+from repro.router.cells import Cell, CellFormat
+from repro.thompson.layouts import BatcherBanyanLayout
+
+
+class BatcherBanyanFabric(SwitchFabric):
+    """Dynamic Batcher-Banyan model with bit-accurate accounting."""
+
+    architecture = "batcher_banyan"
+
+    def __init__(
+        self,
+        ports: int,
+        models: EnergyModelSet,
+        cell_format: CellFormat | None = None,
+        wire_mode: str = "worst_case",
+    ) -> None:
+        super().__init__(ports, models, cell_format, wire_mode)
+        if ports < 4:
+            raise ConfigurationError("Batcher-Banyan needs >= 4 ports")
+        if models.sorting_switch is None:
+            raise ConfigurationError(
+                "BatcherBanyanFabric requires models.sorting_switch"
+            )
+        self.layout = BatcherBanyanLayout(ports)
+        self.stages = topology.stage_count(ports)
+        self._schedule: list[SorterSubstage] = bitonic_schedule(ports)
+        self._sorting_lut = models.sorting_switch
+        self._binary_lut = models.switch
+
+    @classmethod
+    def with_default_models(cls, ports: int, **kwargs) -> "BatcherBanyanFabric":
+        """Construct with the Table 1 sorting + binary switch LUTs."""
+        from repro.fabrics.factory import default_models
+
+        return cls(ports, default_models("batcher_banyan", ports), **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def advance_slot(self, admitted: Mapping[int, Cell], slot: int) -> list[Cell]:
+        """Sort the batch, then route it through the banyan, in one slot."""
+        self._validate_admitted(admitted)
+        if not admitted:
+            return []
+        lines: dict[int, Cell] = {}
+        for port, cell in admitted.items():
+            self._charge_wire(
+                ("ingress", port),
+                cell.words,
+                4,
+                f"bb.ingress{port}",
+            )
+            lines[port] = cell
+        lines = self._run_sorter(lines)
+        delivered = self._run_banyan(lines)
+        self.ledger.count("cells_delivered", len(delivered))
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Sorting network
+    # ------------------------------------------------------------------
+
+    def _run_sorter(self, lines: dict[int, Cell]) -> dict[int, Cell]:
+        """Stream the batch through every bitonic substage.
+
+        Absent lines sort as +infinity, concentrating cells at the top
+        in ascending destination order.
+        """
+        for substage in self._schedule:
+            next_lines: dict[int, Cell] = {}
+            for comp in substage.comparators:
+                a = lines.get(comp.low)
+                b = lines.get(comp.high)
+                if a is None and b is None:
+                    continue
+                swap = self._should_swap(a, b, comp.ascending)
+                out_low, out_high = (b, a) if swap else (a, b)
+                vector = (1 if a is not None else 0, 1 if b is not None else 0)
+                component = f"bb.sorter.p{substage.phase}s{substage.step}.c{comp.low}"
+                self._charge_switch(
+                    component,
+                    self._sorting_lut,
+                    vector,
+                    self.cell_format.words,
+                )
+                for out_line, cell, came_from in (
+                    (comp.low, out_low, comp.high if swap else comp.low),
+                    (comp.high, out_high, comp.low if swap else comp.high),
+                ):
+                    if cell is None:
+                        continue
+                    crossed_link = came_from != out_line
+                    grids = self.layout.sorter_link_grids(
+                        substage.phase,
+                        substage.step,
+                        crossed_link,
+                        mode=self.wire_mode,
+                    )
+                    self._charge_wire(
+                        ("sorter", substage.phase, substage.step, out_line),
+                        cell.words,
+                        grids,
+                        f"bb.sorter.p{substage.phase}s{substage.step}.out{out_line}",
+                    )
+                    next_lines[out_line] = cell
+            # Every line belongs to exactly one comparator per substage,
+            # so all occupied lines were handled above.
+            lines = next_lines
+        return lines
+
+    @staticmethod
+    def _should_swap(a: Cell | None, b: Cell | None, ascending: bool) -> bool:
+        """Compare-exchange rule with absent cells as +infinity keys."""
+        key_a = a.dest_port if a is not None else float("inf")
+        key_b = b.dest_port if b is not None else float("inf")
+        if ascending:
+            return key_a > key_b
+        return key_a < key_b
+
+    # ------------------------------------------------------------------
+    # Banyan section
+    # ------------------------------------------------------------------
+
+    def _run_banyan(self, lines: dict[int, Cell]) -> list[Cell]:
+        """Route the sorted batch; conflict here is a broken invariant."""
+        for stage in range(self.stages):
+            next_lines: dict[int, Cell] = {}
+            vectors: dict[int, list[int]] = {}
+            for line, cell in lines.items():
+                k = topology.switch_index(self.ports, stage, line)
+                input_index = topology.switch_input_index(self.ports, stage, line)
+                vectors.setdefault(k, [0, 0])[input_index] = 1
+                out_line = topology.route_line(
+                    self.ports, stage, line, cell.dest_port
+                )
+                if out_line in next_lines:
+                    raise SimulationError(
+                        "internal blocking inside Batcher-Banyan: the sorted "
+                        "batch was not monotone — this is a library bug"
+                    )
+                was_crossed = topology.crossed(self.ports, stage, line, out_line)
+                bit_index = topology.stage_bit(self.ports, stage)
+                grids = self.layout.banyan_layout().link_grids(
+                    bit_index, was_crossed, mode=self.wire_mode
+                )
+                self._charge_wire(
+                    ("banyan", stage, out_line),
+                    cell.words,
+                    grids,
+                    f"bb.banyan.stage{stage}.out{out_line}",
+                )
+                next_lines[out_line] = cell
+            for k, vector in vectors.items():
+                self._charge_switch(
+                    f"bb.banyan.stage{stage}.sw{k}",
+                    self._binary_lut,
+                    tuple(vector),
+                    self.cell_format.words,
+                )
+            lines = next_lines
+        delivered = []
+        for line, cell in sorted(lines.items()):
+            if line != cell.dest_port:
+                raise SimulationError(
+                    f"cell for port {cell.dest_port} delivered on line {line}"
+                )
+            delivered.append(cell)
+        return delivered

@@ -1,0 +1,126 @@
+"""Factories wiring fabrics to their default (paper) energy models."""
+
+from __future__ import annotations
+
+from repro.core.bit_energy import (
+    EnergyModelSet,
+    MuxEnergyLUT,
+    SwitchEnergyLUT,
+)
+from repro.core.estimator import canonical_architecture
+from repro.errors import ConfigurationError
+from repro.memmodel.buffers import banyan_buffer_model
+from repro.router.cells import CellFormat
+from repro.tech import TECH_180NM, Technology
+from repro.tech.wires import WireModel
+
+
+def default_models(
+    architecture: str,
+    ports: int,
+    tech: Technology = TECH_180NM,
+    buffer_memory: str = "sram",
+    buffer_bits_per_switch: int | None = None,
+    buffer_charge_granularity: str = "word",
+) -> EnergyModelSet:
+    """The paper's Table 1/Table 2 energy models for one architecture.
+
+    Parameters
+    ----------
+    architecture: canonical or aliased fabric name.
+    ports: fabric size (selects the MUX LUT and the Table 2 row).
+    tech: process node; supplies the wire model.
+    buffer_memory: ``"sram"`` (paper) or ``"dram"`` — banyan only.
+    buffer_bits_per_switch: node queue capacity override (banyan only).
+    buffer_charge_granularity: ``"word"`` (default) or ``"bit"`` — how
+        the Table 2 figure is charged per buffered cell (see
+        :class:`repro.core.bit_energy.BufferEnergyModel`).
+    """
+    arch = canonical_architecture(architecture)
+    wire = WireModel(tech)
+    if arch == "crossbar":
+        return EnergyModelSet(
+            switch=SwitchEnergyLUT.crossbar_crosspoint(), wire=wire
+        )
+    if arch == "fully_connected":
+        return EnergyModelSet(switch=MuxEnergyLUT(ports), wire=wire)
+    if arch == "banyan":
+        return EnergyModelSet(
+            switch=SwitchEnergyLUT.banyan_binary(),
+            wire=wire,
+            buffer=banyan_buffer_model(
+                ports,
+                memory=buffer_memory,
+                buffer_bits_per_switch=buffer_bits_per_switch,
+                charge_granularity=buffer_charge_granularity,
+            ),
+        )
+    if arch == "batcher_banyan":
+        return EnergyModelSet(
+            switch=SwitchEnergyLUT.banyan_binary(),
+            wire=wire,
+            sorting_switch=SwitchEnergyLUT.batcher_sorting(),
+        )
+    raise ConfigurationError(f"unknown architecture {architecture!r}")
+
+
+def build_fabric(
+    architecture: str,
+    ports: int,
+    tech: Technology = TECH_180NM,
+    cell_format: CellFormat | None = None,
+    wire_mode: str = "worst_case",
+    models: EnergyModelSet | None = None,
+    **fabric_kwargs,
+):
+    """Construct any of the four fabrics with default or custom models.
+
+    Extra keyword arguments go to the fabric constructor (e.g.
+    ``buffer_cells_per_switch`` for the banyan).
+    """
+    from repro.fabrics.banyan import BanyanFabric
+    from repro.fabrics.batcher_banyan import BatcherBanyanFabric
+    from repro.fabrics.crossbar import CrossbarFabric
+    from repro.fabrics.fully_connected import FullyConnectedFabric
+
+    arch = canonical_architecture(architecture)
+    cell_format = cell_format or CellFormat()
+    if arch == "banyan":
+        buffer_kwargs = {}
+        for key in (
+            "buffer_memory",
+            "buffer_bits_per_switch",
+            "buffer_charge_granularity",
+        ):
+            if key in fabric_kwargs:
+                buffer_kwargs[key] = fabric_kwargs.pop(key)
+        if models is None:
+            models = default_models(arch, ports, tech, **buffer_kwargs)
+        # Node queue capacity in cells follows the queue's bit capacity
+        # unless explicitly overridden.
+        if "buffer_cells_per_switch" not in fabric_kwargs:
+            from repro.core import tables
+
+            queue_bits = (
+                buffer_kwargs.get("buffer_bits_per_switch")
+                or tables.BANYAN_BUFFER_BITS_PER_SWITCH
+            )
+            fabric_kwargs["buffer_cells_per_switch"] = max(
+                1, queue_bits // cell_format.cell_bits
+            )
+    elif models is None:
+        models = default_models(arch, ports, tech)
+    classes = {
+        "crossbar": CrossbarFabric,
+        "fully_connected": FullyConnectedFabric,
+        "banyan": BanyanFabric,
+        "batcher_banyan": BatcherBanyanFabric,
+    }
+    fabric_cls = classes[arch]
+    return fabric_cls(
+        ports,
+        models,
+        cell_format=cell_format,
+        wire_mode=wire_mode,
+        **fabric_kwargs,
+    )

@@ -1,0 +1,128 @@
+"""Standard-cell library for gate-level characterisation.
+
+Each :class:`CellType` carries a boolean function plus the three numbers
+the energy model needs:
+
+* ``input_cap_f`` — capacitance of one input pin (loads the driving
+  net);
+* ``output_cap_f`` — parasitic drain/local-wire capacitance of the
+  output (switched on every output toggle);
+* ``internal_energy_j`` — short-circuit plus internal-node energy per
+  output toggle.
+
+Capacitances default to multiples of the technology's unit gate cap
+(2 fF at 0.18 um), giving energies in the right absolute region for the
+paper's Table 1 without claiming real library sign-off accuracy — the
+calibrated Table 1 stays the library default for simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import CharacterizationError
+from repro.tech import TECH_180NM, Technology
+
+
+@dataclass(frozen=True)
+class CellType:
+    """One combinational or sequential standard cell."""
+
+    name: str
+    n_inputs: int
+    function: Callable[[tuple[int, ...]], int]
+    input_cap_f: float
+    output_cap_f: float
+    internal_energy_j: float
+    sequential: bool = False
+    clock_cap_f: float = 0.0
+
+    def evaluate(self, inputs: tuple[int, ...]) -> int:
+        """Boolean output for an input tuple (0/1 ints)."""
+        if len(inputs) != self.n_inputs:
+            raise CharacterizationError(
+                f"{self.name} expects {self.n_inputs} inputs, got {len(inputs)}"
+            )
+        return 1 if self.function(inputs) else 0
+
+
+def _mux2(i: tuple[int, ...]) -> int:
+    d0, d1, sel = i
+    return d1 if sel else d0
+
+
+def _tribuf(i: tuple[int, ...]) -> int:
+    # Tri-state modelled two-valued: a disabled driver parks the net low.
+    data, enable = i
+    return data if enable else 0
+
+
+class CellLibrary:
+    """The cell set used by all circuit generators.
+
+    Sizing rationale (relative to the unit input cap ``Cg``):
+
+    * INV/BUF are unit cells; NAND/NOR slightly larger inputs;
+    * XOR/XNOR and MUX2 are compound cells: bigger caps and nonzero
+      internal energy (their internal nodes toggle even when the output
+      does not — approximated by a per-output-toggle surcharge);
+    * DFF carries clock-pin capacitance switched every cycle, which
+      produces the correct nonzero idle power of registered switches.
+    """
+
+    def __init__(self, tech: Technology = TECH_180NM) -> None:
+        self.tech = tech
+        cg = tech.gate_cap_f
+        v = tech.voltage_v
+        # A convenient internal-energy unit: one unit-cap full swing.
+        e_unit = 0.5 * cg * v * v
+        self._cells: dict[str, CellType] = {}
+        for cell in (
+            CellType("INV", 1, lambda i: 1 - i[0], cg, 1.0 * cg, 0.0),
+            CellType("BUF", 1, lambda i: i[0], cg, 1.2 * cg, 0.1 * e_unit),
+            CellType("NAND2", 2, lambda i: 1 - (i[0] & i[1]), 1.2 * cg, 1.4 * cg, 0.1 * e_unit),
+            CellType("NOR2", 2, lambda i: 1 - (i[0] | i[1]), 1.2 * cg, 1.4 * cg, 0.1 * e_unit),
+            CellType("AND2", 2, lambda i: i[0] & i[1], 1.2 * cg, 1.6 * cg, 0.2 * e_unit),
+            CellType("OR2", 2, lambda i: i[0] | i[1], 1.2 * cg, 1.6 * cg, 0.2 * e_unit),
+            CellType("XOR2", 2, lambda i: i[0] ^ i[1], 2.0 * cg, 2.2 * cg, 0.6 * e_unit),
+            CellType("XNOR2", 2, lambda i: 1 - (i[0] ^ i[1]), 2.0 * cg, 2.2 * cg, 0.6 * e_unit),
+            CellType("MUX2", 3, _mux2, 1.6 * cg, 2.0 * cg, 0.5 * e_unit),
+            CellType("TRIBUF", 2, _tribuf, 1.4 * cg, 2.4 * cg, 0.3 * e_unit),
+            CellType(
+                "DFF",
+                1,
+                lambda i: i[0],
+                1.8 * cg,
+                2.6 * cg,
+                0.8 * e_unit,
+                sequential=True,
+                clock_cap_f=1.5 * cg,
+            ),
+        ):
+            self._cells[cell.name] = cell
+
+    def __getitem__(self, name: str) -> CellType:
+        try:
+            return self._cells[name]
+        except KeyError:
+            known = ", ".join(sorted(self._cells))
+            raise CharacterizationError(
+                f"unknown cell {name!r}; library has: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._cells)
+
+    @property
+    def voltage_v(self) -> float:
+        return self.tech.voltage_v
+
+    @property
+    def energy_scale(self) -> float:
+        """Global calibration multiplier from the technology."""
+        return self.tech.cell_energy_scale

@@ -1,0 +1,18 @@
+"""Gate-level circuit generators for the paper's node switches.
+
+Each builder returns a :class:`~repro.gatesim.netlist.Netlist` with a
+documented port convention (``in0[..]``, ``valid0``, ``route0``, ...)
+that :mod:`repro.gatesim.characterize` knows how to stimulate.
+"""
+
+from repro.gatesim.circuits.crosspoint import build_crosspoint
+from repro.gatesim.circuits.banyan_switch import build_banyan_switch
+from repro.gatesim.circuits.sorting_switch import build_sorting_switch
+from repro.gatesim.circuits.mux import build_mux_tree
+
+__all__ = [
+    "build_crosspoint",
+    "build_banyan_switch",
+    "build_sorting_switch",
+    "build_mux_tree",
+]

@@ -1,0 +1,39 @@
+"""Crossbar crosspoint: tri-state bus drivers plus an enable latch.
+
+Paper Section 4.1: "The node switch on the crosspoint of crossbar
+network can be a simple CMOS pass gate, or a tri-state CMOS buffer.
+Both are relatively simple compared to the node switches used in other
+network topologies."
+
+Ports
+-----
+* ``in[lane]`` — data bus input.
+* ``enable`` — crosspoint selected (from the arbiter).
+* ``out[lane]`` — column bus output.
+"""
+
+from __future__ import annotations
+
+from repro.gatesim.cells import CellLibrary
+from repro.gatesim.netlist import Netlist
+
+
+def build_crosspoint(library: CellLibrary, bus_width: int = 32) -> Netlist:
+    """One crosspoint: ``bus_width`` tri-state drivers + enable buffer."""
+    netlist = Netlist(library, name=f"crosspoint{bus_width}")
+    data = netlist.add_input_bus("in", bus_width)
+    enable = netlist.add_input("enable")
+    # The enable fans out to every lane through a buffer tree (one
+    # buffer per 8 lanes keeps realistic loading).
+    enable_buffers = [
+        netlist.add_gate("BUF", [enable], name=f"enbuf{i}")
+        for i in range((bus_width + 7) // 8)
+    ]
+    for lane in range(bus_width):
+        en = enable_buffers[lane // 8]
+        tri = netlist.add_gate("TRIBUF", [data[lane], en], name=f"tri[{lane}]")
+        # Column-bus driver stage: the crosspoint must drive the long
+        # output bus, so each lane ends in a sized-up buffer.
+        out = netlist.add_gate("BUF", [tri], name=f"drv[{lane}]")
+        netlist.add_output(f"out[{lane}]", out)
+    return netlist

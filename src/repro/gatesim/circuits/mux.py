@@ -1,0 +1,69 @@
+"""N-input MUX for the fully connected fabric (paper Fig. 6).
+
+Per bus lane, a binary tree of 2:1 muxes selects one of N inputs; the
+select bits come straight from the arbiter's binary port number and fan
+out across the datapath through buffer trees.  Energy grows with N both
+through tree depth and through the idle inputs' leaf muxes toggling
+(inputs carry traffic destined for *other* MUXes in the real fabric,
+modelled here by stimulating idle inputs at a configurable background
+activity — see the characterisation driver).
+
+Ports
+-----
+* ``in<k>[lane]`` for k in 0..N-1 — input buses.
+* ``sel[b]`` for b in 0..log2(N)-1 — select bits (LSB first).
+* ``out[lane]`` — registered output bus.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CharacterizationError
+from repro.gatesim.cells import CellLibrary
+from repro.gatesim.netlist import Netlist
+
+
+def build_mux_tree(
+    library: CellLibrary, n_inputs: int, bus_width: int = 32
+) -> Netlist:
+    if n_inputs < 2 or n_inputs & (n_inputs - 1):
+        raise CharacterizationError(
+            f"n_inputs must be a power of two >= 2, got {n_inputs}"
+        )
+    levels = n_inputs.bit_length() - 1
+    netlist = Netlist(library, name=f"mux{n_inputs}_{bus_width}")
+    buses = [netlist.add_input_bus(f"in{k}", bus_width) for k in range(n_inputs)]
+    selects = [netlist.add_input(f"sel[{b}]") for b in range(levels)]
+
+    # Buffer each select bit per 8 datapath lanes per level it feeds.
+    def sel_buffers(level: int) -> list[int]:
+        return [
+            netlist.add_gate("BUF", [selects[level]], name=f"selb{level}_{i}")
+            for i in range((bus_width + 7) // 8)
+        ]
+
+    buffered = [sel_buffers(level) for level in range(levels)]
+
+    current = buses
+    for level in range(levels):
+        nxt: list[list[int]] = []
+        for pair in range(len(current) // 2):
+            lanes = []
+            for lane in range(bus_width):
+                chunk = lane // 8
+                lanes.append(
+                    netlist.add_gate(
+                        "MUX2",
+                        [
+                            current[2 * pair][lane],
+                            current[2 * pair + 1][lane],
+                            buffered[level][chunk],
+                        ],
+                        name=f"l{level}p{pair}[{lane}]",
+                    )
+                )
+            nxt.append(lanes)
+        current = nxt
+    out_bus = netlist.register_bus(current[0], name="q")
+    for lane, net in enumerate(out_bus):
+        netlist.add_output(f"out[{lane}]", net)
+    return netlist

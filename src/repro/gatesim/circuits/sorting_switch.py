@@ -1,0 +1,121 @@
+"""Batcher 2x2 compare-exchange sorting switch.
+
+Compares the two inputs' destination keys (ripple magnitude comparator)
+and either passes or swaps the two payload buses.  The datapath uses the
+same operand-isolated AND-OR steering as the banyan binary switch, plus
+the key comparator — which is why it lands above the binary switch in
+energy, matching Table 1's ordering (1253 vs 1080 fJ single input,
+2025 vs 1821 dual).
+
+Ports
+-----
+* ``in0[lane]`` / ``in1[lane]`` — payload buses.
+* ``key0[b]`` / ``key1[b]`` — destination keys (LSB first).
+* ``valid0`` / ``valid1`` — presence bits (absent sorts as +inf).
+* ``up`` — sort direction (1 = ascending).
+* ``out0[lane]`` / ``out1[lane]`` — registered outputs.
+"""
+
+from __future__ import annotations
+
+from repro.gatesim.cells import CellLibrary
+from repro.gatesim.netlist import Netlist
+
+
+def _greater_than(netlist: Netlist, a: list[int], b: list[int]) -> int:
+    """Ripple comparator: net that is 1 when value(a) > value(b).
+
+    LSB-first ripple: ``gt_k = (a_k & ~b_k) | ((a_k == b_k) & gt_{k-1})``.
+    """
+    gt = None
+    for bit, (abit, bbit) in enumerate(zip(a, b)):
+        nb = netlist.add_gate("INV", [bbit], name=f"cmp_nb{bit}")
+        a_gt_b = netlist.add_gate("AND2", [abit, nb], name=f"cmp_gt{bit}")
+        if gt is None:
+            gt = a_gt_b
+        else:
+            eq = netlist.add_gate("XNOR2", [abit, bbit], name=f"cmp_eq{bit}")
+            carry = netlist.add_gate("AND2", [eq, gt], name=f"cmp_carry{bit}")
+            gt = netlist.add_gate("OR2", [a_gt_b, carry], name=f"cmp_or{bit}")
+    assert gt is not None
+    return gt
+
+
+def build_sorting_switch(
+    library: CellLibrary, bus_width: int = 32, key_bits: int = 8
+) -> Netlist:
+    netlist = Netlist(library, name=f"sorter2x2_{bus_width}")
+    in0 = netlist.add_input_bus("in0", bus_width)
+    in1 = netlist.add_input_bus("in1", bus_width)
+    key0 = netlist.add_input_bus("key0", key_bits)
+    key1 = netlist.add_input_bus("key1", key_bits)
+    valid0 = netlist.add_input("valid0")
+    valid1 = netlist.add_input("valid1")
+    up = netlist.add_input("up")
+
+    # --- Compare (header path) ------------------------------------------
+    # key0 > key1 on raw keys; validity overrides (absent = +inf):
+    # swap_asc = (key0 > key1 and both valid) or (input0 absent and 1 valid)
+    gt = _greater_than(netlist, key0, key1)
+    both = netlist.add_gate("AND2", [valid0, valid1], name="bothvalid")
+    gt_valid = netlist.add_gate("AND2", [gt, both], name="gtvalid")
+    n_valid0 = netlist.add_gate("INV", [valid0], name="nv0")
+    absent0 = netlist.add_gate("AND2", [n_valid0, valid1], name="absent0")
+    swap_asc = netlist.add_gate("OR2", [gt_valid, absent0], name="swapasc")
+    # Descending direction inverts the decision: XNOR(swap_asc, up).
+    swap_dir = netlist.add_gate("XNOR2", [swap_asc, up], name="swapdir")
+    any_valid = netlist.add_gate("OR2", [valid0, valid1], name="anyvalid")
+    swap = netlist.add_gate("AND2", [swap_dir, any_valid], name="swap")
+    n_swap = netlist.add_gate("INV", [swap], name="nswap")
+
+    # --- Control fanout buffering ----------------------------------------
+    chunks = (bus_width + 7) // 8
+
+    def fan(net: int, tag: str) -> list[int]:
+        return [
+            netlist.add_gate("BUF", [net], name=f"{tag}b{i}") for i in range(chunks)
+        ]
+
+    v0_buf = fan(valid0, "v0")
+    v1_buf = fan(valid1, "v1")
+    swap_buf = fan(swap, "sw")
+    nswap_buf = fan(n_swap, "nsw")
+
+    # --- Payload path (operand-isolated AND-OR exchange) -----------------
+    for lane in range(bus_width):
+        c = lane // 8
+        d0 = netlist.add_gate("AND2", [in0[lane], v0_buf[c]], name=f"d0[{lane}]")
+        d1 = netlist.add_gate("AND2", [in1[lane], v1_buf[c]], name=f"d1[{lane}]")
+        # out0 = pass ? d0 : d1 ; out1 = pass ? d1 : d0.
+        p00 = netlist.add_gate("AND2", [d0, nswap_buf[c]], name=f"p00[{lane}]")
+        p10 = netlist.add_gate("AND2", [d1, swap_buf[c]], name=f"p10[{lane}]")
+        o0 = netlist.add_gate("OR2", [p00, p10], name=f"o0[{lane}]")
+        q0 = netlist.add_gate("DFF", [o0], name=f"q0[{lane}]")
+        netlist.add_output(f"out0[{lane}]", q0)
+        p11 = netlist.add_gate("AND2", [d1, nswap_buf[c]], name=f"p11[{lane}]")
+        p01 = netlist.add_gate("AND2", [d0, swap_buf[c]], name=f"p01[{lane}]")
+        o1 = netlist.add_gate("OR2", [p11, p01], name=f"o1[{lane}]")
+        q1 = netlist.add_gate("DFF", [o1], name=f"q1[{lane}]")
+        netlist.add_output(f"out1[{lane}]", q1)
+
+    # --- Key forwarding path ---------------------------------------------
+    # Unlike the self-routing banyan switch (which consumes one address
+    # bit per stage inside the cell header), every sorter substage needs
+    # the full keys *in parallel* for the next substage's comparison, so
+    # the keys are exchanged and registered alongside the payload.  This
+    # extra datapath is what puts the sorting switch above the binary
+    # switch in Table 1.
+    for bit in range(key_bits):
+        k0 = netlist.add_gate("AND2", [key0[bit], v0_buf[0]], name=f"k0[{bit}]")
+        k1 = netlist.add_gate("AND2", [key1[bit], v1_buf[0]], name=f"k1[{bit}]")
+        k00 = netlist.add_gate("AND2", [k0, nswap_buf[0]], name=f"k00[{bit}]")
+        k10 = netlist.add_gate("AND2", [k1, swap_buf[0]], name=f"k10[{bit}]")
+        ko0 = netlist.add_gate("OR2", [k00, k10], name=f"ko0[{bit}]")
+        kq0 = netlist.add_gate("DFF", [ko0], name=f"kq0[{bit}]")
+        netlist.add_output(f"keyout0[{bit}]", kq0)
+        k11 = netlist.add_gate("AND2", [k1, nswap_buf[0]], name=f"k11[{bit}]")
+        k01 = netlist.add_gate("AND2", [k0, swap_buf[0]], name=f"k01[{bit}]")
+        ko1 = netlist.add_gate("OR2", [k11, k01], name=f"ko1[{bit}]")
+        kq1 = netlist.add_gate("DFF", [ko1], name=f"kq1[{bit}]")
+        netlist.add_output(f"keyout1[{bit}]", kq1)
+    return netlist

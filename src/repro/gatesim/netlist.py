@@ -1,0 +1,193 @@
+"""Gate-level netlists with zero-delay evaluation order.
+
+A :class:`Netlist` is a DAG of gates over nets.  Primary inputs and DFF
+outputs are evaluation sources; everything combinational is evaluated in
+topological order each cycle; DFFs capture their D input at the cycle
+boundary.  Combinational cycles are rejected at finalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CharacterizationError
+from repro.gatesim.cells import CellLibrary, CellType
+
+
+@dataclass
+class Net:
+    """One wire.  ``driver`` is a gate index, or None for primary inputs."""
+
+    index: int
+    name: str
+    driver: int | None = None
+    fanout: list[int] = field(default_factory=list)
+
+
+@dataclass
+class Gate:
+    """One cell instance."""
+
+    index: int
+    cell: CellType
+    inputs: list[int]
+    output: int
+    name: str
+
+
+class Netlist:
+    """A flat gate netlist.
+
+    Build with :meth:`add_input` / :meth:`add_gate` / :meth:`add_output`,
+    then call :meth:`finalize` (or let the simulator do it) to compute
+    the evaluation order.
+    """
+
+    def __init__(self, library: CellLibrary, name: str = "netlist") -> None:
+        self.library = library
+        self.name = name
+        self.nets: list[Net] = []
+        self.gates: list[Gate] = []
+        self.inputs: dict[str, int] = {}
+        self.outputs: dict[str, int] = {}
+        self._order: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _new_net(self, name: str) -> int:
+        net = Net(index=len(self.nets), name=name)
+        self.nets.append(net)
+        return net.index
+
+    def add_input(self, name: str) -> int:
+        """Declare a primary input; returns its net index."""
+        if name in self.inputs:
+            raise CharacterizationError(f"duplicate input {name!r}")
+        idx = self._new_net(name)
+        self.inputs[name] = idx
+        return idx
+
+    def add_input_bus(self, name: str, width: int) -> list[int]:
+        """Declare ``width`` inputs ``name[0..width-1]``; LSB first."""
+        return [self.add_input(f"{name}[{b}]") for b in range(width)]
+
+    def add_gate(self, cell_name: str, inputs: list[int], name: str | None = None) -> int:
+        """Instantiate a cell; returns the output net index."""
+        cell = self.library[cell_name]
+        if len(inputs) != cell.n_inputs:
+            raise CharacterizationError(
+                f"{cell_name} takes {cell.n_inputs} inputs, got {len(inputs)}"
+            )
+        for net_idx in inputs:
+            if not 0 <= net_idx < len(self.nets):
+                raise CharacterizationError(f"unknown net {net_idx}")
+        gate_index = len(self.gates)
+        gate_name = name or f"{cell_name.lower()}{gate_index}"
+        out = self._new_net(f"{gate_name}.out")
+        gate = Gate(
+            index=gate_index, cell=cell, inputs=list(inputs), output=out,
+            name=gate_name,
+        )
+        self.gates.append(gate)
+        self.nets[out].driver = gate_index
+        for net_idx in inputs:
+            self.nets[net_idx].fanout.append(gate_index)
+        self._order = None
+        return out
+
+    def add_output(self, name: str, net: int) -> None:
+        """Mark a net as a primary output."""
+        if name in self.outputs:
+            raise CharacterizationError(f"duplicate output {name!r}")
+        if not 0 <= net < len(self.nets):
+            raise CharacterizationError(f"unknown net {net}")
+        self.outputs[name] = net
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> list[int]:
+        """Topologically order the combinational gates (Kahn).
+
+        DFF outputs are sources (their new value appears next cycle), so
+        any cycle through a DFF is legal; a purely combinational cycle
+        raises :class:`CharacterizationError`.
+        """
+        if self._order is not None:
+            return self._order
+        indegree: dict[int, int] = {}
+        comb_gates = [g for g in self.gates if not g.cell.sequential]
+        for gate in comb_gates:
+            count = 0
+            for net_idx in gate.inputs:
+                driver = self.nets[net_idx].driver
+                if driver is not None and not self.gates[driver].cell.sequential:
+                    count += 1
+            indegree[gate.index] = count
+        ready = [g.index for g in comb_gates if indegree[g.index] == 0]
+        order: list[int] = []
+        while ready:
+            gate_index = ready.pop()
+            order.append(gate_index)
+            out_net = self.gates[gate_index].output
+            for consumer in self.nets[out_net].fanout:
+                if self.gates[consumer].cell.sequential:
+                    continue
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(comb_gates):
+            raise CharacterizationError(
+                f"{self.name}: combinational loop detected "
+                f"({len(comb_gates) - len(order)} gates unresolved)"
+            )
+        self._order = order
+        return order
+
+    @property
+    def sequential_gates(self) -> list[Gate]:
+        return [g for g in self.gates if g.cell.sequential]
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.gates)
+
+    def net_load_f(self, net_index: int) -> float:
+        """Capacitive load on a net: fanout input pins + driver output."""
+        net = self.nets[net_index]
+        load = 0.0
+        for consumer in net.fanout:
+            load += self.gates[consumer].cell.input_cap_f
+        if net.driver is not None:
+            load += self.gates[net.driver].cell.output_cap_f
+        return load
+
+    # ------------------------------------------------------------------
+    # Bus helpers used by the circuit generators
+    # ------------------------------------------------------------------
+
+    def mux2_bus(self, d0: list[int], d1: list[int], sel: int, name: str) -> list[int]:
+        """Per-lane 2:1 mux of two equal-width buses."""
+        if len(d0) != len(d1):
+            raise CharacterizationError("bus width mismatch in mux2_bus")
+        return [
+            self.add_gate("MUX2", [a, b, sel], name=f"{name}[{lane}]")
+            for lane, (a, b) in enumerate(zip(d0, d1))
+        ]
+
+    def register_bus(self, data: list[int], name: str) -> list[int]:
+        """Per-lane DFF on a bus."""
+        return [
+            self.add_gate("DFF", [d], name=f"{name}[{lane}]")
+            for lane, d in enumerate(data)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Netlist({self.name!r}, {self.gate_count} gates, "
+            f"{len(self.nets)} nets, {len(self.inputs)} in, "
+            f"{len(self.outputs)} out)"
+        )

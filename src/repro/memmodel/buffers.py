@@ -1,0 +1,98 @@
+"""Buffer sizing rules and :class:`BufferEnergyModel` factories.
+
+Connects the memory macros to the fabric code: the Banyan network keeps
+a 4 Kbit queue per 2x2 switch backed by one shared memory (paper Section
+5.1), so the per-bit access energy seen by every switch is that of the
+*shared* macro sized by Table 2's rule.
+"""
+
+from __future__ import annotations
+
+from repro.core import tables
+from repro.core.bit_energy import BufferEnergyModel
+from repro.errors import ConfigurationError
+from repro.memmodel.dram import DramMacro
+from repro.memmodel.sram import SramMacro
+
+
+def shared_buffer_bits(ports: int, buffer_bits_per_switch: int | None = None) -> int:
+    """Shared memory capacity for an N-port Banyan (Table 2 column 3)."""
+    per_switch = (
+        tables.BANYAN_BUFFER_BITS_PER_SWITCH
+        if buffer_bits_per_switch is None
+        else buffer_bits_per_switch
+    )
+    if per_switch <= 0:
+        raise ConfigurationError("buffer_bits_per_switch must be positive")
+    return tables.banyan_switch_count(ports) * per_switch
+
+
+def buffer_model_for_memory(
+    memory: SramMacro | DramMacro,
+    **overrides,
+) -> BufferEnergyModel:
+    """Wrap a memory macro into the Eq. 1 :class:`BufferEnergyModel`.
+
+    ``overrides`` forward to :class:`BufferEnergyModel` (e.g.
+    ``charge_granularity``, ``charge_read_and_write``).
+    """
+    if isinstance(memory, DramMacro):
+        return BufferEnergyModel(
+            access_energy_j=memory.access_energy_per_bit_j,
+            refresh_energy_j=memory.refresh_energy_per_bit_j,
+            refresh_period_s=memory.retention_time_s,
+            word_bits=memory.word_bits,
+            **overrides,
+        )
+    return BufferEnergyModel(
+        access_energy_j=memory.access_energy_per_bit_j,
+        word_bits=memory.word_bits,
+        **overrides,
+    )
+
+
+def banyan_buffer_model(
+    ports: int,
+    memory: str = "sram",
+    buffer_bits_per_switch: int | None = None,
+    use_table2: bool = True,
+    **overrides,
+) -> BufferEnergyModel:
+    """Buffer energy model for an N-port Banyan fabric.
+
+    Parameters
+    ----------
+    ports:
+        Fabric port count (power of two).
+    memory:
+        ``"sram"`` (paper default) or ``"dram"`` (adds ``E_ref``).
+    buffer_bits_per_switch:
+        Per-switch queue capacity; default 4 Kbit (Section 5.1).
+    use_table2:
+        When True (default) and the configuration matches a published
+        Table 2 row exactly (SRAM, 4 Kbit/switch, N in the table), the
+        published figure is used verbatim; otherwise the analytical
+        macro supplies the energy.
+    overrides:
+        Forwarded to :class:`BufferEnergyModel` — most importantly
+        ``charge_granularity`` ("word" default / "bit" literal Eq. 1)
+        and ``charge_read_and_write``.
+    """
+    size = shared_buffer_bits(ports, buffer_bits_per_switch)
+    if memory == "sram":
+        is_paper_row = (
+            use_table2
+            and buffer_bits_per_switch in (None, tables.BANYAN_BUFFER_BITS_PER_SWITCH)
+            and ports in tables.BANYAN_BUFFER_ENERGY_BY_PORTS
+        )
+        if is_paper_row:
+            return BufferEnergyModel(
+                access_energy_j=tables.BANYAN_BUFFER_ENERGY_BY_PORTS[ports],
+                **overrides,
+            )
+        macro = SramMacro(size_bits=size)
+        return buffer_model_for_memory(macro, **overrides)
+    if memory == "dram":
+        macro = DramMacro(size_bits=size)
+        return buffer_model_for_memory(macro, **overrides)
+    raise ConfigurationError(f"memory must be 'sram' or 'dram', got {memory!r}")

@@ -1,0 +1,78 @@
+"""Embedded-DRAM buffer model with refresh energy (paper Eq. 1).
+
+The paper's experiments use SRAM buffers, but Eq. 1 explicitly carries a
+refresh term ``E_ref`` "in the case of DRAM".  This model provides that
+case for the buffer-technology ablation bench: per-access energy is
+lower than SRAM (smaller cell, shorter bitlines per bit), but every
+stored bit must be refreshed once per retention period whether or not it
+is accessed.
+
+Constants are representative of late-1990s embedded DRAM at 0.18 um and
+are documented rather than fitted — the paper gives no DRAM datapoints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import pJ
+
+
+@dataclass(frozen=True)
+class DramMacro:
+    """An embedded-DRAM buffer memory.
+
+    Attributes
+    ----------
+    size_bits: total capacity.
+    bank_bits: capacity of one bank.
+    e_bank_j: per-bit intra-bank access energy (destructive read +
+        restore makes the floor higher than the cell size alone would
+        suggest; default 90 pJ/bit to sit below the SRAM's 140).
+    e_route_j: quadratic global routing term, same shape as the SRAM
+        model.
+    refresh_energy_per_bit_j: energy to refresh one bit once.
+    retention_time_s: interval within which every bit must be
+        refreshed (classic 64 ms budget).
+    word_bits: access word width.
+    """
+
+    size_bits: int
+    bank_bits: int = 64 * 1024
+    e_bank_j: float = pJ(90.0)
+    e_route_j: float = pJ(0.15)
+    refresh_energy_per_bit_j: float = pJ(2.0)
+    retention_time_s: float = 64e-3
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0 or self.bank_bits <= 0 or self.word_bits <= 0:
+            raise ConfigurationError("sizes must be positive")
+        if min(self.e_bank_j, self.e_route_j, self.refresh_energy_per_bit_j) < 0:
+            raise ConfigurationError("energies must be >= 0")
+        if self.retention_time_s <= 0:
+            raise ConfigurationError("retention_time_s must be positive")
+
+    @property
+    def banks(self) -> int:
+        return math.ceil(self.size_bits / self.bank_bits)
+
+    @property
+    def access_energy_per_bit_j(self) -> float:
+        """Joules per bit per READ or WRITE (``E_access``)."""
+        b = self.banks
+        return self.e_bank_j + self.e_route_j * b * b
+
+    @property
+    def refresh_power_w(self) -> float:
+        """Standby refresh power of the whole macro when fully retained."""
+        return self.refresh_energy_per_bit_j * self.size_bits / self.retention_time_s
+
+    def refresh_energy_for(self, bits_stored: float, duration_s: float) -> float:
+        """Refresh energy for ``bits_stored`` bits held for ``duration_s``."""
+        if bits_stored < 0 or duration_s < 0:
+            raise ConfigurationError("bits_stored/duration_s must be >= 0")
+        refreshes = duration_s / self.retention_time_s
+        return self.refresh_energy_per_bit_j * bits_stored * refreshes

@@ -1,0 +1,57 @@
+"""Network-router substrate around the switch fabric (paper Section 2).
+
+A router is four parts: ingress packet process units, egress packet
+process units, the arbitration unit, and the switch fabric.  This
+package provides everything except the fabric itself:
+
+* :mod:`~repro.router.packet` / :mod:`~repro.router.cells` — packets,
+  fixed-size cells, segmentation and reassembly (the ingress unit
+  "parallelizes the serial dataflow into bus dataflow"; the egress unit
+  "re-assembles the processed packets").
+* :mod:`~repro.router.traffic` — synthetic traffic generators standing
+  in for the paper's random-destination TCP/IP flows.
+* :mod:`~repro.router.ingress` — per-port input FIFO queues (the paper's
+  input-buffering scheme; these buffers are *outside* the fabric and do
+  not count toward fabric power).
+* :mod:`~repro.router.arbiter` — FCFS round-robin destination-contention
+  resolution (Section 5.2).
+* :mod:`~repro.router.egress` — delivery accounting, packet reassembly,
+  throughput and latency measurement.
+* :mod:`~repro.router.router` — the assembled :class:`NetworkRouter`.
+"""
+
+from repro.router.packet import Packet, make_payload_words
+from repro.router.cells import Cell, CellFormat, segment_packet
+from repro.router.traffic import (
+    BernoulliUniformTraffic,
+    BurstyTraffic,
+    HotspotTraffic,
+    PermutationTraffic,
+    TraceTraffic,
+    TrafficGenerator,
+    TrimodalPacketTraffic,
+)
+from repro.router.ingress import IngressUnit
+from repro.router.egress import EgressUnit
+from repro.router.arbiter import FcfsRoundRobinArbiter, OldestFirstArbiter
+from repro.router.router import NetworkRouter
+
+__all__ = [
+    "Packet",
+    "make_payload_words",
+    "Cell",
+    "CellFormat",
+    "segment_packet",
+    "TrafficGenerator",
+    "BernoulliUniformTraffic",
+    "HotspotTraffic",
+    "PermutationTraffic",
+    "BurstyTraffic",
+    "TrimodalPacketTraffic",
+    "TraceTraffic",
+    "IngressUnit",
+    "EgressUnit",
+    "FcfsRoundRobinArbiter",
+    "OldestFirstArbiter",
+    "NetworkRouter",
+]

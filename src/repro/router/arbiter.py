@@ -1,0 +1,96 @@
+"""Arbitration unit: destination-contention resolution (Section 5.2).
+
+"The arbiter uses the first-come-first-serve arbitration with round
+robin policy."  Per slot it looks at the head-of-line cell of every
+ingress queue and grants a set with pairwise-distinct egress ports:
+
+* cells are considered oldest-first (FCFS on packet arrival slot);
+* ties (same arrival slot) break by a rotating round-robin pointer so
+  no port is structurally favoured;
+* a grant also requires the fabric to accept the cell this slot
+  (``can_admit`` — the banyan back-pressures through this).
+
+Only queue heads are eligible: this is FIFO input queueing, whose HOL
+blocking produces the paper's 58.6% saturation ceiling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.router.cells import Cell
+
+
+class FcfsRoundRobinArbiter:
+    """The paper's FCFS + round-robin destination arbiter."""
+
+    name = "fcfs_round_robin"
+
+    def __init__(self, ports: int) -> None:
+        if ports < 2:
+            raise ConfigurationError("arbiter needs >= 2 ports")
+        self.ports = ports
+        self._pointer = 0
+
+    def select(
+        self,
+        heads: Mapping[int, Cell],
+        can_admit: Callable[[int], bool],
+    ) -> dict[int, Cell]:
+        """Choose this slot's grants.
+
+        Parameters
+        ----------
+        heads: head-of-line cell per non-empty ingress port.
+        can_admit: fabric admission predicate per input port.
+
+        Returns
+        -------
+        ``input port -> cell`` with pairwise distinct destinations.
+        """
+        order = sorted(
+            heads,
+            key=lambda p: (
+                heads[p].created_slot,
+                (p - self._pointer) % self.ports,
+            ),
+        )
+        taken: set[int] = set()
+        grants: dict[int, Cell] = {}
+        for port in order:
+            cell = heads[port]
+            if cell.dest_port in taken:
+                continue
+            if not can_admit(port):
+                continue
+            grants[port] = cell
+            taken.add(cell.dest_port)
+        self._pointer = (self._pointer + 1) % self.ports
+        return grants
+
+
+class OldestFirstArbiter(FcfsRoundRobinArbiter):
+    """FCFS with *fixed* (non-rotating) tie-break — ablation variant.
+
+    Identical to the paper arbiter except ties always favour low port
+    numbers; exposes the fairness role of the round-robin pointer.
+    """
+
+    name = "oldest_first"
+
+    def select(
+        self,
+        heads: Mapping[int, Cell],
+        can_admit: Callable[[int], bool],
+    ) -> dict[int, Cell]:
+        order = sorted(heads, key=lambda p: (heads[p].created_slot, p))
+        taken: set[int] = set()
+        grants: dict[int, Cell] = {}
+        for port in order:
+            cell = heads[port]
+            if cell.dest_port in taken or not can_admit(port):
+                continue
+            grants[port] = cell
+            taken.add(cell.dest_port)
+        return grants

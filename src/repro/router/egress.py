@@ -1,0 +1,163 @@
+"""Egress packet process units: delivery accounting and reassembly.
+
+"The egress process unit re-assembles the processed packets and
+delivers the packets to their destination ports" (Section 2), and
+"the throughput is measured at the egress process units" (Section 5.2).
+This module implements both: per-port cell collection, packet
+reassembly from cell coordinates, and the delivered-cell counters the
+throughput axis of Fig. 9 is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.router.cells import Cell
+
+
+@dataclass
+class _PartialPacket:
+    """Reassembly state of one in-progress packet."""
+
+    cell_count: int
+    received: set[int] = field(default_factory=set)
+    payload_bits: int = 0
+    created_slot: int = 0
+    first_cell_slot: int = 0
+
+
+@dataclass
+class EgressStats:
+    """Aggregate delivery statistics across all ports."""
+
+    cells_delivered: int = 0
+    payload_bits_delivered: int = 0
+    packets_completed: int = 0
+    measured_cells: int = 0
+    measurement_slots: int = 0
+
+
+class EgressUnit:
+    """All-ports egress accounting (one instance per router).
+
+    Parameters
+    ----------
+    ports: number of egress ports.
+
+    Notes
+    -----
+    Throughput is ``measured_cells / (ports * measurement_slots)`` where
+    the measurement window excludes warmup and drain (the engine brackets
+    it with :meth:`start_measurement` / :meth:`stop_measurement`),
+    matching the paper's egress-side measurement.
+    """
+
+    def __init__(self, ports: int) -> None:
+        if ports < 2:
+            raise ConfigurationError("egress needs >= 2 ports")
+        self.ports = ports
+        self.stats = EgressStats()
+        self._partial: dict[int, _PartialPacket] = {}
+        self._completed_ids: set[int] = set()
+        self._latency_slots: list[int] = []
+        self._measuring = False
+
+    # ------------------------------------------------------------------
+    # Measurement window control
+    # ------------------------------------------------------------------
+
+    def start_measurement(self) -> None:
+        self._measuring = True
+
+    def stop_measurement(self) -> None:
+        self._measuring = False
+
+    def tick(self) -> None:
+        """Advance the measurement clock by one slot (engine calls)."""
+        if self._measuring:
+            self.stats.measurement_slots += 1
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def deliver(self, cells: list[Cell], slot: int) -> list[int]:
+        """Account delivered cells; returns ids of completed packets."""
+        completed: list[int] = []
+        for cell in cells:
+            if not 0 <= cell.dest_port < self.ports:
+                raise SimulationError(
+                    f"cell delivered to invalid port {cell.dest_port}"
+                )
+            self.stats.cells_delivered += 1
+            self.stats.payload_bits_delivered += cell.payload_bits
+            if self._measuring:
+                self.stats.measured_cells += 1
+            if cell.packet_id in self._completed_ids:
+                raise SimulationError(
+                    f"packet {cell.packet_id}: cell delivered after the "
+                    "packet already completed (duplicate delivery)"
+                )
+            state = self._partial.get(cell.packet_id)
+            if state is None:
+                state = _PartialPacket(
+                    cell_count=cell.cell_count,
+                    created_slot=cell.created_slot,
+                    first_cell_slot=slot,
+                )
+                self._partial[cell.packet_id] = state
+            if cell.cell_count != state.cell_count:
+                raise SimulationError(
+                    f"packet {cell.packet_id}: inconsistent cell_count"
+                )
+            if cell.cell_index in state.received:
+                raise SimulationError(
+                    f"packet {cell.packet_id}: duplicate cell {cell.cell_index}"
+                )
+            state.received.add(cell.cell_index)
+            state.payload_bits += cell.payload_bits
+            if len(state.received) == state.cell_count:
+                completed.append(cell.packet_id)
+                self.stats.packets_completed += 1
+                self._latency_slots.append(slot - state.created_slot)
+                del self._partial[cell.packet_id]
+                self._completed_ids.add(cell.packet_id)
+        return completed
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def throughput(self) -> float:
+        """Per-port egress utilisation over the measurement window."""
+        if self.stats.measurement_slots == 0:
+            return 0.0
+        return self.stats.measured_cells / (
+            self.ports * self.stats.measurement_slots
+        )
+
+    @property
+    def incomplete_packets(self) -> int:
+        """Packets with some but not all cells delivered."""
+        return len(self._partial)
+
+    def latency_stats(self) -> dict[str, float]:
+        """Packet latency (slots from ingress arrival to completion)."""
+        if not self._latency_slots:
+            return {"count": 0, "mean": 0.0, "max": 0.0, "p95": 0.0}
+        values = sorted(self._latency_slots)
+        count = len(values)
+        p95_index = min(count - 1, int(0.95 * count))
+        return {
+            "count": count,
+            "mean": sum(values) / count,
+            "max": float(values[-1]),
+            "p95": float(values[p95_index]),
+        }
+
+    def reset_measurements(self) -> None:
+        """Zero all statistics (warmup boundary); reassembly state stays."""
+        self.stats = EgressStats()
+        self._latency_slots.clear()

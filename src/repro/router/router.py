@@ -1,0 +1,131 @@
+"""The assembled network router (paper Fig. 1).
+
+:class:`NetworkRouter` wires the four blocks together — ingress units,
+egress units, arbiter, and a switch fabric — and owns the shared
+configuration (technology, cell format, timing).  The slot loop itself
+lives in :class:`repro.sim.engine.SimulationEngine`; the router is the
+structural object you hand to it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.router.arbiter import FcfsRoundRobinArbiter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.fabrics.base import SwitchFabric
+from repro.router.cells import CellFormat
+from repro.router.egress import EgressUnit
+from repro.router.ingress import IngressUnit
+from repro.router.packet import Packet
+from repro.router.traffic import TrafficGenerator
+from repro.tech import TECH_180NM, Technology
+
+
+class NetworkRouter:
+    """A complete router around one switch fabric.
+
+    Parameters
+    ----------
+    fabric:
+        Any :class:`~repro.fabrics.base.SwitchFabric`.
+    traffic:
+        Arrival process; its port count must match the fabric.
+    tech:
+        Process node (line rate defines the slot duration).
+    arbiter:
+        Destination-contention arbiter; defaults to the paper's
+        FCFS round-robin.
+    ingress_queue_cells:
+        Input buffer capacity per port (None = unbounded, the paper's
+        model).
+    """
+
+    def __init__(
+        self,
+        fabric: "SwitchFabric",
+        traffic: TrafficGenerator,
+        tech: Technology = TECH_180NM,
+        arbiter: FcfsRoundRobinArbiter | None = None,
+        ingress_queue_cells: int | None = None,
+    ) -> None:
+        if traffic.ports != fabric.ports:
+            raise ConfigurationError(
+                f"traffic has {traffic.ports} ports, fabric {fabric.ports}"
+            )
+        if traffic.bus_width != fabric.cell_format.bus_width:
+            raise ConfigurationError(
+                "traffic and fabric disagree on bus width "
+                f"({traffic.bus_width} vs {fabric.cell_format.bus_width})"
+            )
+        self.fabric = fabric
+        self.traffic = traffic
+        self.tech = tech
+        self.arbiter = arbiter or FcfsRoundRobinArbiter(fabric.ports)
+        self.ingress = [
+            IngressUnit(port, fabric.cell_format, ingress_queue_cells)
+            for port in range(fabric.ports)
+        ]
+        self.egress = EgressUnit(fabric.ports)
+        self.slot_seconds = fabric.cell_format.slot_seconds(tech.line_rate_bps)
+        fabric.configure_timing(self.slot_seconds)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ports(self) -> int:
+        return self.fabric.ports
+
+    @property
+    def cell_format(self) -> CellFormat:
+        return self.fabric.cell_format
+
+    def accept_arrivals(self, packets: list[Packet]) -> None:
+        """Feed new packets into their ingress units."""
+        for packet in packets:
+            if not 0 <= packet.src_port < self.ports:
+                raise ConfigurationError(
+                    f"packet source {packet.src_port} out of range"
+                )
+            self.ingress[packet.src_port].accept_packet(packet)
+
+    def ingress_heads(self) -> dict[int, object]:
+        """Head-of-line cell per non-empty ingress port."""
+        heads = {}
+        for unit in self.ingress:
+            cell = unit.head()
+            if cell is not None:
+                heads[unit.port] = cell
+        return heads
+
+    def arbitrate(self, slot: int) -> dict[int, object]:
+        """Run one slot of arbitration; dequeue and return the grants.
+
+        The default implementation is the paper's model: the arbiter
+        sees only head-of-line cells of the per-port FIFO queues.
+        Subclasses (e.g. the VOQ router) override this to expose richer
+        queue state to their arbiter.
+        """
+        heads = self.ingress_heads()
+        grants = self.arbiter.select(heads, self.fabric.can_admit)
+        admitted = {}
+        for port, cell in grants.items():
+            popped = self.ingress[port].pop()
+            if popped is not cell:
+                raise ConfigurationError(
+                    "arbiter granted a cell that is not the queue head"
+                )
+            admitted[port] = popped
+        return admitted
+
+    @property
+    def ingress_backlog_cells(self) -> int:
+        """Cells waiting in all input queues."""
+        return sum(unit.depth for unit in self.ingress)
+
+    def reset_measurements(self) -> None:
+        """Warmup boundary: zero statistics everywhere, keep state."""
+        self.fabric.reset_measurements()
+        self.egress.reset_measurements()

@@ -1,0 +1,322 @@
+"""Synthetic traffic generators (paper Section 5.2 substitute).
+
+The paper feeds its platform "a TCP/IP packet traffic flow ... the
+destinations of the TCP/IP packets are random" with throughput adjusted
+"by controlling the packet generation intervals".  The generators here
+reproduce that (Bernoulli arrivals, uniform random destinations, random
+payload bits) and add the controlled variants used by the ablation
+benches: hotspot, permutation, bursty on/off, a trimodal TCP/IP packet
+size mix, and replayable traces.
+
+All generators are driven by a seeded :class:`numpy.random.Generator`
+owned by the engine, so simulations are bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.router.packet import Packet
+
+
+class TrafficGenerator(ABC):
+    """Produces the packets arriving at each ingress port every slot."""
+
+    def __init__(self, ports: int, bus_width: int) -> None:
+        if ports < 2:
+            raise ConfigurationError("traffic needs >= 2 ports")
+        self.ports = ports
+        self.bus_width = bus_width
+        self._next_packet_id = 0
+
+    @abstractmethod
+    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+        """Packets arriving during ``slot`` (any ports, any count)."""
+
+    def _new_packet(
+        self,
+        rng: np.random.Generator,
+        src: int,
+        dest: int,
+        size_bits: int,
+        slot: int,
+    ) -> Packet:
+        packet = Packet.random(
+            rng,
+            packet_id=self._next_packet_id,
+            src_port=src,
+            dest_port=dest,
+            size_bits=size_bits,
+            bus_width=self.bus_width,
+            created_slot=slot,
+        )
+        self._next_packet_id += 1
+        return packet
+
+
+class BernoulliUniformTraffic(TrafficGenerator):
+    """Independent Bernoulli arrivals with uniform random destinations.
+
+    Each slot, each port receives a packet with probability ``load``
+    (in cells: ``packet_bits`` defaults to one cell's payload so load is
+    directly the offered cell rate).  This is the paper's headline
+    workload.
+
+    Parameters
+    ----------
+    load: arrival probability per port per slot, in [0, 1].
+    packet_bits: payload size of each packet.
+    allow_self: include a port's own index among destinations
+        (default True — the paper does not exclude it).
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        load: float,
+        packet_bits: int = 480,
+        bus_width: int = 32,
+        allow_self: bool = True,
+    ) -> None:
+        super().__init__(ports, bus_width)
+        if not 0.0 <= load <= 1.0:
+            raise ConfigurationError(f"load must be in [0, 1], got {load}")
+        if packet_bits < 0:
+            raise ConfigurationError("packet_bits must be >= 0")
+        self.load = load
+        self.packet_bits = packet_bits
+        self.allow_self = allow_self
+
+    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+        packets = []
+        draws = rng.random(self.ports)
+        for src in range(self.ports):
+            if draws[src] >= self.load:
+                continue
+            dest = int(rng.integers(0, self.ports))
+            if not self.allow_self:
+                while dest == src:
+                    dest = int(rng.integers(0, self.ports))
+            packets.append(self._new_packet(rng, src, dest, self.packet_bits, slot))
+        return packets
+
+
+class HotspotTraffic(BernoulliUniformTraffic):
+    """Uniform traffic with a fraction of packets aimed at one port.
+
+    With probability ``hotspot_fraction`` a packet targets
+    ``hotspot_port``; otherwise the destination is uniform.  Models the
+    server/gateway overload scenario classic in switch evaluations.
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        load: float,
+        hotspot_port: int = 0,
+        hotspot_fraction: float = 0.5,
+        **kwargs,
+    ) -> None:
+        super().__init__(ports, load, **kwargs)
+        if not 0 <= hotspot_port < ports:
+            raise ConfigurationError("hotspot_port out of range")
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ConfigurationError("hotspot_fraction must be in [0, 1]")
+        self.hotspot_port = hotspot_port
+        self.hotspot_fraction = hotspot_fraction
+
+    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+        packets = []
+        draws = rng.random(self.ports)
+        for src in range(self.ports):
+            if draws[src] >= self.load:
+                continue
+            if rng.random() < self.hotspot_fraction:
+                dest = self.hotspot_port
+            else:
+                dest = int(rng.integers(0, self.ports))
+            packets.append(self._new_packet(rng, src, dest, self.packet_bits, slot))
+        return packets
+
+
+class PermutationTraffic(TrafficGenerator):
+    """Each source always targets one fixed destination (a permutation).
+
+    Contention free at admission by construction — useful to isolate
+    interconnect contention (banyan internal blocking still occurs for
+    non-identity permutations).
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        load: float,
+        permutation: list[int] | None = None,
+        packet_bits: int = 480,
+        bus_width: int = 32,
+    ) -> None:
+        super().__init__(ports, bus_width)
+        if not 0.0 <= load <= 1.0:
+            raise ConfigurationError(f"load must be in [0, 1], got {load}")
+        if permutation is None:
+            permutation = [(p + 1) % ports for p in range(ports)]
+        if sorted(permutation) != list(range(ports)):
+            raise ConfigurationError("permutation must be a bijection on ports")
+        self.load = load
+        self.permutation = list(permutation)
+        self.packet_bits = packet_bits
+
+    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+        packets = []
+        draws = rng.random(self.ports)
+        for src in range(self.ports):
+            if draws[src] < self.load:
+                packets.append(
+                    self._new_packet(
+                        rng, src, self.permutation[src], self.packet_bits, slot
+                    )
+                )
+        return packets
+
+
+class BurstyTraffic(TrafficGenerator):
+    """Two-state on/off (Markov-modulated) arrivals per port.
+
+    In the ON state a port emits a packet every slot; state dwell times
+    are geometric with mean ``burst_len`` (ON) chosen so the long-run
+    load equals ``load``.  Bursty arrivals stress queues far more than
+    Bernoulli at equal load — the classic motivation for buffer
+    ablations.
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        load: float,
+        burst_len: float = 8.0,
+        packet_bits: int = 480,
+        bus_width: int = 32,
+    ) -> None:
+        super().__init__(ports, bus_width)
+        if not 0.0 < load < 1.0:
+            raise ConfigurationError("bursty load must be in (0, 1)")
+        if burst_len < 1.0:
+            raise ConfigurationError("burst_len must be >= 1")
+        self.load = load
+        self.burst_len = burst_len
+        self.packet_bits = packet_bits
+        # P(ON -> OFF) and P(OFF -> ON) giving mean ON dwell burst_len
+        # and stationary P(ON) = load.
+        self._p_off = 1.0 / burst_len
+        off_dwell = burst_len * (1.0 - load) / load
+        self._p_on = 1.0 / off_dwell
+        self._state: np.ndarray | None = None
+
+    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+        if self._state is None:
+            self._state = rng.random(self.ports) < self.load
+        flips = rng.random(self.ports)
+        for src in range(self.ports):
+            if self._state[src]:
+                if flips[src] < self._p_off:
+                    self._state[src] = False
+            elif flips[src] < self._p_on:
+                self._state[src] = True
+        packets = []
+        for src in range(self.ports):
+            if self._state[src]:
+                dest = int(rng.integers(0, self.ports))
+                packets.append(
+                    self._new_packet(rng, src, dest, self.packet_bits, slot)
+                )
+        return packets
+
+
+class TrimodalPacketTraffic(TrafficGenerator):
+    """Internet-like trimodal packet size mix (40 / 576 / 1500 bytes).
+
+    Models the paper's "TCP/IP packet traffic flow" more literally than
+    single-cell packets: packets segment into several cells and the
+    egress units reassemble them.  ``load`` is the offered load in
+    *cells* per port per slot; packet arrivals are thinned accordingly.
+    """
+
+    #: (size_bytes, probability) — the classic Internet mix.
+    DEFAULT_MIX = ((40, 0.55), (576, 0.25), (1500, 0.20))
+
+    def __init__(
+        self,
+        ports: int,
+        load: float,
+        mix: tuple[tuple[int, float], ...] = DEFAULT_MIX,
+        cell_payload_bits: int = 480,
+        bus_width: int = 32,
+    ) -> None:
+        super().__init__(ports, bus_width)
+        if not 0.0 <= load <= 1.0:
+            raise ConfigurationError(f"load must be in [0, 1], got {load}")
+        total_p = sum(p for _, p in mix)
+        if abs(total_p - 1.0) > 1e-9:
+            raise ConfigurationError("mix probabilities must sum to 1")
+        if cell_payload_bits <= 0:
+            raise ConfigurationError("cell_payload_bits must be positive")
+        self.load = load
+        self.mix = tuple(mix)
+        self.cell_payload_bits = cell_payload_bits
+        self._sizes = np.array([s * 8 for s, _ in mix])
+        self._probs = np.array([p for _, p in mix])
+        cells_per_packet = np.ceil(self._sizes / cell_payload_bits)
+        self._mean_cells = float((cells_per_packet * self._probs).sum())
+
+    @property
+    def packet_rate(self) -> float:
+        """Packet arrival probability per port per slot."""
+        return min(1.0, self.load / self._mean_cells)
+
+    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+        packets = []
+        draws = rng.random(self.ports)
+        rate = self.packet_rate
+        for src in range(self.ports):
+            if draws[src] >= rate:
+                continue
+            size_bits = int(rng.choice(self._sizes, p=self._probs))
+            dest = int(rng.integers(0, self.ports))
+            packets.append(self._new_packet(rng, src, dest, size_bits, slot))
+        return packets
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One scripted arrival: (slot, src, dest, size_bits)."""
+
+    slot: int
+    src: int
+    dest: int
+    size_bits: int
+
+
+class TraceTraffic(TrafficGenerator):
+    """Replays a fixed list of arrivals — the deterministic workhorse of
+    the test suite (payload bits are still drawn from the engine rng
+    unless the test supplies packets directly through the ingress)."""
+
+    def __init__(
+        self, ports: int, entries: list[TraceEntry], bus_width: int = 32
+    ) -> None:
+        super().__init__(ports, bus_width)
+        self._by_slot: dict[int, list[TraceEntry]] = {}
+        for entry in entries:
+            if not 0 <= entry.src < ports or not 0 <= entry.dest < ports:
+                raise ConfigurationError(f"trace entry out of range: {entry}")
+            self._by_slot.setdefault(entry.slot, []).append(entry)
+
+    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+        return [
+            self._new_packet(rng, e.src, e.dest, e.size_bits, slot)
+            for e in self._by_slot.get(slot, [])
+        ]

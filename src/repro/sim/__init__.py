@@ -1,0 +1,32 @@
+"""Bit-accurate slotted simulation platform (paper Section 5.2).
+
+The paper implements its platform in Simulink with C++ S-functions; this
+package provides the equivalent in Python/numpy:
+
+* :mod:`~repro.sim.ledger` — a per-component energy ledger (switches,
+  wires, buffer accesses, refresh).
+* :mod:`~repro.sim.tracer` — per-wire polarity tracking: every bus lane
+  remembers its resting level, and transfers count *actual* bit flips of
+  the real payload (Section 3.3's "only bits with flipped polarity
+  consume energy").
+* :mod:`~repro.sim.engine` — the slot loop: traffic -> ingress queues ->
+  arbiter grants -> fabric transport -> egress accounting.
+* :mod:`~repro.sim.results` — measurement containers.
+* :mod:`~repro.sim.runner` — ``run_simulation(...)``, the one-call API.
+"""
+
+from repro.sim.ledger import EnergyLedger
+from repro.sim.tracer import WireTracer, count_flips
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import EnergyBreakdown, SimulationResult
+from repro.sim.runner import run_simulation
+
+__all__ = [
+    "EnergyLedger",
+    "WireTracer",
+    "count_flips",
+    "SimulationEngine",
+    "EnergyBreakdown",
+    "SimulationResult",
+    "run_simulation",
+]

@@ -1,0 +1,93 @@
+"""One-call simulation API.
+
+>>> from repro.sim.runner import run_simulation
+>>> result = run_simulation("banyan", ports=16, load=0.3, arrival_slots=500)
+>>> result.throughput  # doctest: +SKIP
+
+This is the entry point the benches, examples and most tests use; it
+assembles traffic, fabric and router with paper defaults and runs the
+engine.
+"""
+
+from __future__ import annotations
+
+from repro.core.estimator import canonical_architecture
+from repro.fabrics.factory import build_fabric
+from repro.router.cells import CellFormat
+from repro.router.router import NetworkRouter
+from repro.router.traffic import BernoulliUniformTraffic, TrafficGenerator
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import SimulationResult
+from repro.tech import TECH_180NM, Technology
+
+
+def build_router(
+    architecture: str,
+    ports: int,
+    load: float = 0.3,
+    tech: Technology = TECH_180NM,
+    cell_format: CellFormat | None = None,
+    wire_mode: str = "worst_case",
+    traffic: TrafficGenerator | None = None,
+    ingress_queue_cells: int | None = None,
+    **fabric_kwargs,
+) -> NetworkRouter:
+    """Assemble a router with paper-default models.
+
+    ``traffic`` defaults to Bernoulli arrivals with uniform random
+    destinations at ``load`` cells per port-slot, single-cell packets —
+    the paper's workload.
+    """
+    arch = canonical_architecture(architecture)
+    cell_format = cell_format or CellFormat(bus_width=tech.bus_width_bits)
+    fabric = build_fabric(
+        arch,
+        ports,
+        tech=tech,
+        cell_format=cell_format,
+        wire_mode=wire_mode,
+        **fabric_kwargs,
+    )
+    if traffic is None:
+        traffic = BernoulliUniformTraffic(
+            ports,
+            load,
+            packet_bits=cell_format.payload_bits_per_cell,
+            bus_width=cell_format.bus_width,
+        )
+    return NetworkRouter(
+        fabric,
+        traffic,
+        tech=tech,
+        ingress_queue_cells=ingress_queue_cells,
+    )
+
+
+def run_simulation(
+    architecture: str,
+    ports: int,
+    load: float = 0.3,
+    arrival_slots: int = 1000,
+    warmup_slots: int = 100,
+    seed: int | None = 12345,
+    tech: Technology = TECH_180NM,
+    drain: bool = True,
+    **router_kwargs,
+) -> SimulationResult:
+    """Build a router, run it, return the measurements.
+
+    Parameters
+    ----------
+    architecture: fabric name ("crossbar", "fully_connected", "banyan",
+        "batcher_banyan" or aliases).
+    ports: fabric size.
+    load: offered load in cells per port per slot.
+    arrival_slots: measurement window length.
+    warmup_slots: discarded initial slots.
+    seed: RNG seed (payload bits + arrival process).
+    router_kwargs: forwarded to :func:`build_router` (e.g. ``wire_mode``,
+        ``traffic``, ``buffer_memory``, ``cell_format``).
+    """
+    router = build_router(architecture, ports, load=load, tech=tech, **router_kwargs)
+    engine = SimulationEngine(router, seed=seed)
+    return engine.run(arrival_slots, warmup_slots=warmup_slots, drain=drain)

@@ -1,0 +1,110 @@
+"""Per-wire polarity tracking — the bit-level heart of the platform.
+
+Paper Section 3.3: a wire dissipates ``E_W`` only when the transmitted
+bit's polarity differs from the previous bit on that wire
+(``E_W(0->0) = E_W(1->1) = 0``).  The tracer therefore keeps, for every
+physical link, the *resting word* — the last word transmitted — and
+counts flips of a new word sequence lane by lane:
+
+    flips = popcount(resting XOR w0) + sum_i popcount(w_i XOR w_{i+1})
+
+Payloads are real bits, so data-dependent effects are visible: a cell of
+identical words costs at most one transition per lane, an alternating
+0101... pattern costs the maximum.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.units import bus_mask
+
+try:  # numpy >= 2.0
+    _bitwise_count = np.bitwise_count
+except AttributeError:  # pragma: no cover - legacy numpy fallback
+    _POPCOUNT_TABLE = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.uint64
+    )
+
+    def _bitwise_count(arr: np.ndarray) -> np.ndarray:
+        view = arr.astype(np.uint64).view(np.uint8).reshape(arr.size, 8)
+        return _POPCOUNT_TABLE[view].sum(axis=1)
+
+
+def count_flips(words: np.ndarray, resting: int, bus_width: int) -> int:
+    """Number of lane transitions when ``words`` follow ``resting``.
+
+    Parameters
+    ----------
+    words: word sequence transmitted on the bus (uint64 array).
+    resting: the bus state before the first word.
+    bus_width: number of lanes; higher bits are masked off.
+    """
+    mask = np.uint64(bus_mask(bus_width))
+    arr = np.asarray(words, dtype=np.uint64) & mask
+    if arr.size == 0:
+        return 0
+    prev = np.empty_like(arr)
+    prev[0] = np.uint64(resting) & mask
+    prev[1:] = arr[:-1]
+    return int(_bitwise_count(arr ^ prev).sum())
+
+
+class WireTracer:
+    """Tracks the resting state of every link and counts transfer flips.
+
+    Links are identified by arbitrary hashable keys (fabrics use tuples
+    like ``("stage_out", 2, 13)``).  Unknown links start at rest state 0
+    (all lanes discharged) — the post-reset state of a real bus.
+    """
+
+    def __init__(self, bus_width: int) -> None:
+        self.bus_width = bus_width
+        self._mask = bus_mask(bus_width)
+        self._resting: dict[Hashable, int] = {}
+        self._total_flips = 0
+        self._total_transfers = 0
+
+    def transfer(self, link: Hashable, words: np.ndarray) -> int:
+        """Stream ``words`` over ``link``; return the number of bit flips.
+
+        Updates the link's resting state to the last word transmitted.
+        """
+        arr = np.asarray(words, dtype=np.uint64)
+        if arr.size == 0:
+            return 0
+        resting = self._resting.get(link, 0)
+        flips = count_flips(arr, resting, self.bus_width)
+        self._resting[link] = int(arr[-1]) & self._mask
+        self._total_flips += flips
+        self._total_transfers += 1
+        return flips
+
+    def peek(self, link: Hashable) -> int:
+        """Current resting word of a link (0 if never driven)."""
+        return self._resting.get(link, 0)
+
+    @property
+    def total_flips(self) -> int:
+        return self._total_flips
+
+    @property
+    def total_transfers(self) -> int:
+        return self._total_transfers
+
+    @property
+    def links_seen(self) -> int:
+        return len(self._resting)
+
+    def reset(self, keep_states: bool = True) -> None:
+        """Zero the counters; optionally also forget link states.
+
+        ``keep_states=True`` (default) is what warmup wants: statistics
+        restart but the electrical state of the wires persists.
+        """
+        self._total_flips = 0
+        self._total_transfers = 0
+        if not keep_states:
+            self._resting.clear()

@@ -1,0 +1,79 @@
+"""Ready-made technology nodes.
+
+``TECH_180NM`` reproduces the paper's Section 5 case study; the 0.25 um
+and 0.13 um nodes bracket it for the technology-scaling ablation.  Their
+wire parameters follow the trends tabulated in Ho/Mai/Horowitz ("The
+Future of Wires"): pitch roughly tracks feature size while per-meter
+capacitance stays near 0.4-0.6 fF/um for global layers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.tech.technology import Technology
+
+#: The paper's case-study node: 0.18 um, 3.3 V wires/SRAM, 1 um global
+#: pitch, 0.50 fF/um, 32-bit bus, 133 MHz, 100BaseT line rate.
+#: Yields a 32 um Thompson grid and E_T = 87.1 fJ (paper Section 5.1).
+TECH_180NM = Technology(
+    name="0.18um",
+    feature_size_m=180e-9,
+    voltage_v=3.3,
+    wire_cap_per_m=0.50e-15 / 1e-6,
+    wire_pitch_m=1.0e-6,
+    bus_width_bits=32,
+    clock_hz=133e6,
+    line_rate_bps=100e6,
+    gate_cap_f=2.0e-15,
+    cell_energy_scale=1.0,
+)
+
+#: One node older: 0.25 um, 3.3 V, slightly wider pitch and fatter wires.
+TECH_250NM = Technology(
+    name="0.25um",
+    feature_size_m=250e-9,
+    voltage_v=3.3,
+    wire_cap_per_m=0.55e-15 / 1e-6,
+    wire_pitch_m=1.4e-6,
+    bus_width_bits=32,
+    clock_hz=100e6,
+    line_rate_bps=100e6,
+    gate_cap_f=3.0e-15,
+    cell_energy_scale=1.0,
+)
+
+#: One node newer: 0.13 um, 1.5 V core-style rail, tighter pitch.
+TECH_130NM = Technology(
+    name="0.13um",
+    feature_size_m=130e-9,
+    voltage_v=1.5,
+    wire_cap_per_m=0.45e-15 / 1e-6,
+    wire_pitch_m=0.7e-6,
+    bus_width_bits=32,
+    clock_hz=200e6,
+    line_rate_bps=100e6,
+    gate_cap_f=1.2e-15,
+    cell_energy_scale=1.0,
+)
+
+#: Registry of all preset nodes, keyed by name.
+PRESETS: dict[str, Technology] = {
+    t.name: t for t in (TECH_250NM, TECH_180NM, TECH_130NM)
+}
+
+
+def get_technology(name: str) -> Technology:
+    """Look up a preset node by name (e.g. ``"0.18um"``).
+
+    Raises
+    ------
+    ConfigurationError
+        If the name is not a known preset.
+    """
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ConfigurationError(
+            f"unknown technology {name!r}; known presets: {known}"
+        ) from None

@@ -1,0 +1,144 @@
+"""Interconnect wire capacitance and energy model.
+
+The paper (Section 3.3-3.4) charges wire energy only on polarity flips:
+
+    E_W = 1/2 * C_W * V^2,      C_W = C_wire + C_input
+
+with ``C_wire`` a function of wire length and coupling (citing Ho, Mai,
+Horowitz, "The Future of Wires") and lengths measured in Thompson grids.
+This module implements that model with an explicit decomposition into
+area, fringe and coupling components so that other nodes / geometries can
+be explored, while the default collapses to the paper's 0.50 fF/um
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class WireGeometry:
+    """Physical cross-section of a global wire.
+
+    The default values describe a 0.18 um global-layer wire and are only
+    used when a caller wants capacitance built up from geometry instead
+    of the calibrated per-meter figure carried by :class:`Technology`.
+
+    Attributes
+    ----------
+    width_m: conductor width (global layers are drawn wider than the
+        spaces: 0.6/0.4 um on a 1 um pitch).
+    spacing_m: edge-to-edge spacing to each neighbour.
+    thickness_m: conductor thickness (global layers are tall).
+    height_m: dielectric height above the ground plane.
+    epsilon_r: relative permittivity of the dielectric.
+    """
+
+    width_m: float = 0.6e-6
+    spacing_m: float = 0.4e-6
+    thickness_m: float = 1.2e-6
+    height_m: float = 0.65e-6
+    epsilon_r: float = 3.9
+
+    _EPS0 = 8.854e-12  # vacuum permittivity, F/m
+
+    def area_cap_per_m(self) -> float:
+        """Parallel-plate component to the layer below (F/m)."""
+        return self._EPS0 * self.epsilon_r * self.width_m / self.height_m
+
+    def fringe_cap_per_m(self) -> float:
+        """Fringing-field component: ~1x eps per conductor edge (F/m)."""
+        return self._EPS0 * self.epsilon_r * 2.0
+
+    def coupling_cap_per_m(self) -> float:
+        """Sidewall coupling to the two neighbours (F/m)."""
+        per_side = self._EPS0 * self.epsilon_r * self.thickness_m / self.spacing_m
+        return 2.0 * per_side
+
+    def total_cap_per_m(self, switching_factor: float = 1.0) -> float:
+        """Total effective capacitance per meter (F/m).
+
+        ``switching_factor`` scales the coupling term for simultaneous
+        neighbour switching (1.0 = neighbours quiet, 2.0 = worst-case
+        opposite-phase toggling).
+        """
+        if switching_factor < 0:
+            raise ConfigurationError("switching_factor must be >= 0")
+        return (
+            self.area_cap_per_m()
+            + self.fringe_cap_per_m()
+            + switching_factor * self.coupling_cap_per_m()
+        )
+
+
+class WireModel:
+    """Turns Thompson grid lengths into per-flip wire energies.
+
+    Parameters
+    ----------
+    tech:
+        Process node supplying voltage, pitch, bus width and the
+        calibrated per-meter capacitance.
+    input_cap_per_grid_f:
+        Extra lumped gate-input capacitance attached to the wire per
+        Thompson grid traversed (the ``C_input`` term of Eq. 2).  The
+        paper folds receiver loading into the 0.50 fF/um figure, so the
+        default is zero.
+    geometry:
+        Optional :class:`WireGeometry`; when given, capacitance comes
+        from geometry instead of ``tech.wire_cap_per_m``.
+    """
+
+    def __init__(
+        self,
+        tech: Technology,
+        input_cap_per_grid_f: float = 0.0,
+        geometry: WireGeometry | None = None,
+    ) -> None:
+        if input_cap_per_grid_f < 0:
+            raise ConfigurationError("input_cap_per_grid_f must be >= 0")
+        self.tech = tech
+        self.input_cap_per_grid_f = input_cap_per_grid_f
+        self.geometry = geometry
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cap_per_m(self) -> float:
+        """Effective wire capacitance per meter (F/m)."""
+        if self.geometry is not None:
+            return self.geometry.total_cap_per_m()
+        return self.tech.wire_cap_per_m
+
+    def wire_capacitance_f(self, grids: float) -> float:
+        """Total load capacitance of a wire ``grids`` Thompson grids long."""
+        if grids < 0:
+            raise ConfigurationError("wire length must be >= 0 grids")
+        c_wire = self.cap_per_m * self.tech.thompson_grid_m * grids
+        c_input = self.input_cap_per_grid_f * grids
+        return c_wire + c_input
+
+    def flip_energy_j(self, grids: float) -> float:
+        """``E_W``: energy of one polarity flip on a wire of given length.
+
+        Implements Eq. 2: ``E_W = 1/2 * C_W * V^2``; bits that do not flip
+        polarity consume nothing (handled by the caller/tracer).
+        """
+        c = self.wire_capacitance_f(grids)
+        v = self.tech.voltage_v
+        return 0.5 * c * v * v
+
+    @property
+    def grid_flip_energy_j(self) -> float:
+        """``E_T``: per-flip energy of a one-grid wire (Eq. 2 at m=1)."""
+        return self.flip_energy_j(1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WireModel(tech={self.tech.name!r}, "
+            f"E_T={self.grid_flip_energy_j:.3e} J)"
+        )

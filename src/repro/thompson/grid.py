@@ -1,0 +1,190 @@
+"""Grid-occupancy primitives for Thompson embeddings.
+
+A :class:`ThompsonGrid` is the target graph ``H`` of the paper's
+Section 3.4: a ``p x q`` mesh whose vertices can each host at most one
+source-graph vertex and whose edges can each carry at most one routed
+source-graph edge.  The classes here enforce those two Thompson rules
+and measure routed wire lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EmbeddingError
+
+Point = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class GridRect:
+    """An axis-aligned rectangle of grid cells (inclusive coordinates)."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise EmbeddingError(f"degenerate rectangle {self}")
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0 + 1
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0 + 1
+
+    def cells(self) -> list[Point]:
+        """All grid cells covered by the rectangle."""
+        return [
+            (x, y)
+            for x in range(self.x0, self.x1 + 1)
+            for y in range(self.y0, self.y1 + 1)
+        ]
+
+    def contains(self, point: Point) -> bool:
+        x, y = point
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+
+def _edge_key(a: Point, b: Point) -> tuple[Point, Point]:
+    """Canonical (sorted) key for an undirected grid edge."""
+    return (a, b) if a <= b else (b, a)
+
+
+class ThompsonGrid:
+    """A ``p x q`` grid mesh with Thompson occupancy rules.
+
+    Parameters
+    ----------
+    columns, rows:
+        Grid dimensions ``p`` and ``q``.  The optimal Thompson embedding
+        minimises these; our embedder reports whatever it used so the
+        caller can compare layouts.
+    """
+
+    def __init__(self, columns: int, rows: int) -> None:
+        if columns < 1 or rows < 1:
+            raise EmbeddingError("grid must be at least 1x1")
+        self.columns = columns
+        self.rows = rows
+        self._vertex_cells: dict[Point, object] = {}
+        self._vertex_rects: dict[object, GridRect] = {}
+        self._edge_segments: dict[tuple[Point, Point], object] = {}
+        self._edge_paths: dict[object, list[Point]] = {}
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+
+    def in_bounds(self, point: Point) -> bool:
+        x, y = point
+        return 0 <= x < self.columns and 0 <= y < self.rows
+
+    def place_vertex(self, vertex: object, rect: GridRect) -> None:
+        """Occupy ``rect`` (a ``d x d`` square for a degree-d vertex).
+
+        Raises :class:`EmbeddingError` if any covered cell is already
+        taken or out of bounds (Thompson rule: no two source vertices
+        share a target vertex).
+        """
+        if vertex in self._vertex_rects:
+            raise EmbeddingError(f"vertex {vertex!r} already placed")
+        for cell in rect.cells():
+            if not self.in_bounds(cell):
+                raise EmbeddingError(f"cell {cell} outside {self.columns}x{self.rows}")
+            if cell in self._vertex_cells:
+                raise EmbeddingError(
+                    f"cell {cell} already used by {self._vertex_cells[cell]!r}"
+                )
+        for cell in rect.cells():
+            self._vertex_cells[cell] = vertex
+        self._vertex_rects[vertex] = rect
+
+    def vertex_rect(self, vertex: object) -> GridRect:
+        try:
+            return self._vertex_rects[vertex]
+        except KeyError:
+            raise EmbeddingError(f"vertex {vertex!r} not placed") from None
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def route_edge(self, edge: object, path: list[Point]) -> int:
+        """Route ``edge`` along consecutive grid points; return its length.
+
+        The length is the number of grid edges covered (paper: "the
+        number of grids that an edge covers").  Raises on non-adjacent
+        steps, reuse of a grid edge by two source edges, or re-routing.
+        """
+        if edge in self._edge_paths:
+            raise EmbeddingError(f"edge {edge!r} already routed")
+        if len(path) < 2:
+            raise EmbeddingError(f"edge {edge!r} path too short: {path}")
+        segments: list[tuple[Point, Point]] = []
+        for a, b in zip(path, path[1:]):
+            if not self.in_bounds(a) or not self.in_bounds(b):
+                raise EmbeddingError(f"path point outside grid: {a}->{b}")
+            dx, dy = abs(a[0] - b[0]), abs(a[1] - b[1])
+            if dx + dy != 1:
+                raise EmbeddingError(f"non-adjacent path step {a}->{b}")
+            key = _edge_key(a, b)
+            if key in self._edge_segments:
+                raise EmbeddingError(
+                    f"grid edge {key} already used by {self._edge_segments[key]!r}"
+                )
+            segments.append(key)
+        for key in segments:
+            self._edge_segments[key] = edge
+        self._edge_paths[edge] = list(path)
+        return len(segments)
+
+    def edge_length(self, edge: object) -> int:
+        """Length in grids of a previously routed edge."""
+        try:
+            return len(self._edge_paths[edge]) - 1
+        except KeyError:
+            raise EmbeddingError(f"edge {edge!r} not routed") from None
+
+    def edge_path(self, edge: object) -> list[Point]:
+        try:
+            return list(self._edge_paths[edge])
+        except KeyError:
+            raise EmbeddingError(f"edge {edge!r} not routed") from None
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def total_wire_grids(self) -> int:
+        """Sum of all routed edge lengths."""
+        return sum(len(p) - 1 for p in self._edge_paths.values())
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self._vertex_rects)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edge_paths)
+
+    @property
+    def area_grids(self) -> int:
+        """Bounding area ``p * q`` of the grid."""
+        return self.columns * self.rows
+
+    def utilization(self) -> float:
+        """Fraction of grid cells covered by vertex squares."""
+        return len(self._vertex_cells) / self.area_grids
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ThompsonGrid({self.columns}x{self.rows}, "
+            f"{self.vertex_count} vertices, {self.edge_count} edges, "
+            f"{self.total_wire_grids} wire grids)"
+        )

@@ -1,0 +1,303 @@
+"""Manual Thompson embeddings of the four paper fabrics (Figs. 4-8).
+
+Each layout class answers one question: *how many Thompson grids does a
+given link cover?*  The numbers implement the paper's manual embeddings:
+
+* **Crossbar** (Fig. 5): each crosspoint occupies a 2x2 square plus two
+  routing grids, so the row pitch is 4 grids; the full row wire and the
+  full column wire are each ``4N`` grids long (Eq. 3's ``8N`` total).
+* **Fully connected** (Fig. 6): N N-input MUXes in a double row; the bus
+  from an input to a MUX is about ``N^2 / 2`` grids in the worst case
+  (Eq. 4).  The per-link refinement scales with horizontal distance
+  between input column and MUX column.
+* **Banyan** (Fig. 4/7): stage ``i`` pairs lines ``2^i`` apart, so its
+  cross link spans ``4 * 2^i`` grids (4 grids per switch row) while the
+  straight link covers the inter-stage pitch of 4 grids (Eq. 5).
+* **Batcher-Banyan** (Fig. 8): the bitonic sorter's substage with
+  compare span ``2^i`` behaves like a banyan stage of the same span
+  (Eq. 6's double sum), followed by a full banyan.
+
+Two accounting modes are supported everywhere:
+
+* ``worst_case`` — every link of a stage gets the stage's longest
+  length.  This is what Eq. 3-6 use and the default, matching the paper.
+* ``per_link`` — straight links get the short inter-stage pitch; only
+  cross links pay the span.  Used by the wire-mode ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, EmbeddingError
+
+#: Grids of horizontal pitch consumed by one switch row (2x2 square plus
+#: two routing grids — paper Section 4.1).
+SWITCH_ROW_PITCH = 4
+
+_MODES = ("worst_case", "per_link")
+
+
+def _check_mode(mode: str) -> str:
+    if mode not in _MODES:
+        raise ConfigurationError(f"wire mode must be one of {_MODES}, got {mode!r}")
+    return mode
+
+
+def _require_power_of_two(ports: int, minimum: int) -> int:
+    if ports < minimum or ports & (ports - 1):
+        raise ConfigurationError(
+            f"ports must be a power of two >= {minimum}, got {ports}"
+        )
+    return ports.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CrossbarLayout:
+    """Thompson layout of an N x N crossbar (paper Fig. 5)."""
+
+    ports: int
+
+    def __post_init__(self) -> None:
+        if self.ports < 1:
+            raise ConfigurationError("crossbar needs at least 1 port")
+
+    def row_wire_grids(self, input_port: int) -> int:
+        """Length of the input (row) bus: ``4N`` grids."""
+        self._check_port(input_port)
+        return SWITCH_ROW_PITCH * self.ports
+
+    def column_wire_grids(self, output_port: int) -> int:
+        """Length of the output (column) bus: ``4N`` grids."""
+        self._check_port(output_port)
+        return SWITCH_ROW_PITCH * self.ports
+
+    def connection_grids(self, input_port: int, output_port: int) -> int:
+        """Total wire grids a bit from ``input`` to ``output`` drives.
+
+        Both full buses toggle regardless of the crosspoint position
+        (the paper's ``8N``): the row is driven end to end to reach all
+        crosspoints, and the column likewise carries the bit to the
+        egress edge.
+        """
+        return self.row_wire_grids(input_port) + self.column_wire_grids(output_port)
+
+    @property
+    def bounding_box(self) -> tuple[int, int]:
+        """Grid columns x rows of the embedding."""
+        side = SWITCH_ROW_PITCH * self.ports
+        return (side, side)
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.ports:
+            raise ConfigurationError(
+                f"port {port} out of range for {self.ports}-port crossbar"
+            )
+
+
+@dataclass(frozen=True)
+class FullyConnectedLayout:
+    """Thompson layout of the MUX-based fully connected fabric (Fig. 6).
+
+    The N MUXes sit in a double row; each N-input MUX vertex has degree
+    ``N + 1`` and thus occupies an ``(N+1) x (N+1)`` square, making the
+    total width about ``N/2 * (N+1) ~ N^2/2`` grids.  The worst-case
+    input-to-MUX bus length is therefore ``N^2 / 2`` (Eq. 4).
+    """
+
+    ports: int
+
+    def __post_init__(self) -> None:
+        if self.ports < 2:
+            raise ConfigurationError("fully connected fabric needs >= 2 ports")
+
+    @property
+    def worst_case_connection_grids(self) -> int:
+        """Eq. 4 wire term: ``N^2 / 2`` grids."""
+        return (self.ports * self.ports) // 2
+
+    def connection_grids(
+        self, input_port: int, output_port: int, mode: str = "worst_case"
+    ) -> int:
+        """Wire grids from ``input_port`` to the MUX of ``output_port``.
+
+        ``per_link`` mode scales with the horizontal offset between the
+        input column and the target MUX column (double-row geometry):
+        inputs are spread across the top edge with pitch ``(N+1)/2``
+        and MUX ``j`` sits in column ``j // 2``, row ``j % 2``.
+        """
+        self._check_port(input_port)
+        self._check_port(output_port)
+        _check_mode(mode)
+        if mode == "worst_case":
+            return self.worst_case_connection_grids
+        mux_side = self.ports + 1
+        x_in = input_port * mux_side // 2
+        x_mux = (output_port // 2) * mux_side
+        vertical = (output_port % 2 + 1) * mux_side
+        # The full-bus worst case bounds any single connection: the bus
+        # never extends past the double row.
+        return min(abs(x_in - x_mux) + vertical, self.worst_case_connection_grids)
+
+    @property
+    def bounding_box(self) -> tuple[int, int]:
+        mux_side = self.ports + 1
+        columns = (self.ports + 1) // 2 * mux_side
+        rows = 2 * mux_side + 2
+        return (columns, rows)
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.ports:
+            raise ConfigurationError(
+                f"port {port} out of range for {self.ports}-port fabric"
+            )
+
+
+@dataclass(frozen=True)
+class BanyanLayout:
+    """Thompson layout of an N-port banyan (Figs. 4 and 7).
+
+    Stage ``i`` pairs lines that differ in address bit ``i``; its cross
+    link spans ``2^i`` switch rows of 4 grids each.
+    """
+
+    ports: int
+
+    def __post_init__(self) -> None:
+        _require_power_of_two(self.ports, 2)
+
+    @property
+    def stages(self) -> int:
+        return self.ports.bit_length() - 1
+
+    def stage_cross_grids(self, stage: int) -> int:
+        """Length of stage ``i``'s cross link: ``4 * 2^i`` grids."""
+        self._check_stage(stage)
+        return SWITCH_ROW_PITCH * (2**stage)
+
+    def stage_straight_grids(self, stage: int) -> int:
+        """Length of stage ``i``'s straight link (inter-stage pitch)."""
+        self._check_stage(stage)
+        return SWITCH_ROW_PITCH
+
+    def link_grids(self, stage: int, crossed: bool, mode: str = "worst_case") -> int:
+        """Grids covered by one stage-``i`` link.
+
+        In ``worst_case`` mode every link is charged the stage's longest
+        (cross) length, reproducing Eq. 5; ``per_link`` distinguishes
+        straight from cross links.
+        """
+        _check_mode(mode)
+        if mode == "worst_case" or crossed:
+            return self.stage_cross_grids(stage)
+        return self.stage_straight_grids(stage)
+
+    def edge_link_grids(self) -> int:
+        """Ingress->stage0 / last-stage->egress stub length (one pitch)."""
+        return SWITCH_ROW_PITCH
+
+    @property
+    def worst_case_path_grids(self) -> int:
+        """Eq. 5 wire term: ``4 * sum_i 2^i = 4 (N - 1)`` grids."""
+        return sum(self.stage_cross_grids(i) for i in range(self.stages))
+
+    @property
+    def bounding_box(self) -> tuple[int, int]:
+        columns = self.stages * 2 * SWITCH_ROW_PITCH
+        rows = (self.ports // 2) * SWITCH_ROW_PITCH
+        return (columns, rows)
+
+    def _check_stage(self, stage: int) -> None:
+        if not 0 <= stage < self.stages:
+            raise ConfigurationError(
+                f"stage {stage} out of range for {self.ports}-port banyan"
+            )
+
+
+@dataclass(frozen=True)
+class BatcherBanyanLayout:
+    """Thompson layout of the Batcher-Banyan fabric (Fig. 8).
+
+    The bitonic sorter contributes ``n (n + 1) / 2`` substages; merge
+    phase ``j`` (0-based) has substages with compare spans
+    ``2^j, 2^(j-1), ..., 2^0``, each behaving like a banyan stage of the
+    same span.  A full banyan follows.
+    """
+
+    ports: int
+
+    def __post_init__(self) -> None:
+        _require_power_of_two(self.ports, 4)
+
+    @property
+    def stages(self) -> int:
+        """Banyan stage count ``n``."""
+        return self.ports.bit_length() - 1
+
+    @property
+    def sorter_substages(self) -> int:
+        """``n (n + 1) / 2`` compare-exchange substages."""
+        n = self.stages
+        return n * (n + 1) // 2
+
+    def sorter_substage_span(self, phase: int, step: int) -> int:
+        """Compare span ``2^(phase - step)`` of substage (phase, step).
+
+        ``phase`` runs 0..n-1; ``step`` runs 0..phase, with span
+        decreasing from ``2^phase`` down to 1 — the standard bitonic
+        merge schedule.
+        """
+        n = self.stages
+        if not 0 <= phase < n:
+            raise ConfigurationError(f"phase {phase} out of range")
+        if not 0 <= step <= phase:
+            raise ConfigurationError(f"step {step} out of range for phase {phase}")
+        return 2 ** (phase - step)
+
+    def sorter_link_grids(
+        self, phase: int, step: int, crossed: bool, mode: str = "worst_case"
+    ) -> int:
+        """Grids covered by one sorter substage link."""
+        _check_mode(mode)
+        span = self.sorter_substage_span(phase, step)
+        if mode == "worst_case" or crossed:
+            return SWITCH_ROW_PITCH * span
+        return SWITCH_ROW_PITCH
+
+    def banyan_layout(self) -> BanyanLayout:
+        """The banyan section appended after the sorter."""
+        return BanyanLayout(self.ports)
+
+    @property
+    def worst_case_sorter_grids(self) -> int:
+        """Eq. 6 sorter wire term: ``4 * sum_j sum_{i<=j} 2^i`` grids."""
+        n = self.stages
+        return SWITCH_ROW_PITCH * sum(
+            sum(2**i for i in range(j + 1)) for j in range(n)
+        )
+
+    @property
+    def worst_case_path_grids(self) -> int:
+        """Total Eq. 6 wire grids: sorter plus banyan."""
+        return self.worst_case_sorter_grids + self.banyan_layout().worst_case_path_grids
+
+    @property
+    def bounding_box(self) -> tuple[int, int]:
+        banyan_cols = self.banyan_layout().bounding_box[0]
+        sorter_cols = self.sorter_substages * 2 * SWITCH_ROW_PITCH
+        rows = (self.ports // 2) * SWITCH_ROW_PITCH
+        return (sorter_cols + banyan_cols, rows)
+
+
+def layout_for(architecture: str, ports: int):
+    """Construct the manual layout for a canonical architecture name."""
+    arch = architecture.lower().replace("-", "_").replace(" ", "_")
+    if arch == "crossbar":
+        return CrossbarLayout(ports)
+    if arch in ("fully_connected", "fullyconnected", "fc"):
+        return FullyConnectedLayout(ports)
+    if arch == "banyan":
+        return BanyanLayout(ports)
+    if arch in ("batcher_banyan", "batcher"):
+        return BatcherBanyanLayout(ports)
+    raise EmbeddingError(f"no manual layout for architecture {architecture!r}")

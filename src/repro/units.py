@@ -1,0 +1,176 @@
+"""Unit helpers and physical constants.
+
+Internally the library uses **SI base units everywhere**: joules, seconds,
+meters, farads, volts, hertz, bits.  The helpers below exist so that code
+and tests can express values in the units the paper uses (femtojoules,
+picojoules, micrometers, ...) without sprinkling bare ``1e-15`` literals
+around.
+
+Example
+-------
+>>> from repro.units import fJ, pJ, um
+>>> fJ(87)
+8.7e-14
+>>> pJ(140) == fJ(140_000)
+True
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Energy
+# ---------------------------------------------------------------------------
+
+
+def fJ(value: float) -> float:
+    """Convert femtojoules to joules."""
+    return value * 1e-15
+
+
+def pJ(value: float) -> float:
+    """Convert picojoules to joules."""
+    return value * 1e-12
+
+
+def nJ(value: float) -> float:
+    """Convert nanojoules to joules."""
+    return value * 1e-9
+
+
+def to_fJ(joules: float) -> float:
+    """Convert joules to femtojoules."""
+    return joules * 1e15
+
+
+def to_pJ(joules: float) -> float:
+    """Convert joules to picojoules."""
+    return joules * 1e12
+
+
+# ---------------------------------------------------------------------------
+# Power
+# ---------------------------------------------------------------------------
+
+
+def mW(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * 1e-3
+
+def uW(value: float) -> float:
+    """Convert microwatts to watts."""
+    return value * 1e-6
+
+
+def to_mW(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts * 1e3
+
+
+def to_uW(watts: float) -> float:
+    """Convert watts to microwatts."""
+    return watts * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Geometry
+# ---------------------------------------------------------------------------
+
+
+def um(value: float) -> float:
+    """Convert micrometers to meters."""
+    return value * 1e-6
+
+
+def nm(value: float) -> float:
+    """Convert nanometers to meters."""
+    return value * 1e-9
+
+
+def to_um(meters: float) -> float:
+    """Convert meters to micrometers."""
+    return meters * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Capacitance
+# ---------------------------------------------------------------------------
+
+
+def fF(value: float) -> float:
+    """Convert femtofarads to farads."""
+    return value * 1e-15
+
+
+def pF(value: float) -> float:
+    """Convert picofarads to farads."""
+    return value * 1e-12
+
+
+def to_fF(farads: float) -> float:
+    """Convert farads to femtofarads."""
+    return farads * 1e15
+
+
+# ---------------------------------------------------------------------------
+# Frequency / time / data rate
+# ---------------------------------------------------------------------------
+
+
+def MHz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * 1e6
+
+
+def GHz(value: float) -> float:
+    """Convert gigahertz to hertz."""
+    return value * 1e9
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def Mbps(value: float) -> float:
+    """Convert megabits/second to bits/second."""
+    return value * 1e6
+
+
+def Gbps(value: float) -> float:
+    """Convert gigabits/second to bits/second."""
+    return value * 1e9
+
+
+# ---------------------------------------------------------------------------
+# Bus geometry
+# ---------------------------------------------------------------------------
+
+#: Maximum supported bus width (bus words are stored as uint64).
+MAX_BUS_WIDTH = 64
+
+
+def bus_mask(bus_width: int) -> int:
+    """Bit mask selecting the low ``bus_width`` bits of a bus word.
+
+    Raises ``ValueError`` for widths outside [1, 64].
+    """
+    if not 1 <= bus_width <= MAX_BUS_WIDTH:
+        raise ValueError(
+            f"bus width must be in [1, {MAX_BUS_WIDTH}], got {bus_width}"
+        )
+    return (1 << bus_width) - 1
+
+
+def switching_energy(capacitance_f: float, voltage_v: float) -> float:
+    """Energy of one rail-to-rail transition on a capacitive load.
+
+    Implements the paper's Eq. 2 building block ``E = 1/2 * C * V**2``
+    (joules), the energy dissipated in the driver when a node charged to
+    ``V`` is discharged (or charged from 0 to ``V``).
+    """
+    return 0.5 * capacitance_f * voltage_v * voltage_v

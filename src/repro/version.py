@@ -1,0 +1,10 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: Paper reproduced by this package.
+PAPER = (
+    "Terry Tao Ye, Luca Benini, Giovanni De Micheli, "
+    '"Analysis of Power Consumption on Switch Fabrics in Network Routers", '
+    "DAC 2002."
+)

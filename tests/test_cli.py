@@ -1,0 +1,63 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate"])
+        assert args.arch == "crossbar"
+        assert args.ports == 16
+        assert args.throughput == 0.3
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--arch", "banyan", "--ports", "8", "--load", "0.4",
+             "--wire-mode", "per_link"]
+        )
+        assert args.arch == "banyan"
+        assert args.wire_mode == "per_link"
+
+    def test_bad_wire_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--wire-mode", "median"])
+
+
+class TestCommands:
+    def test_estimate(self, capsys):
+        assert main(["estimate", "--arch", "banyan", "--ports", "32",
+                     "--throughput", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "banyan 32x32" in out
+        assert "pJ/bit" in out and "mW" in out
+
+    def test_simulate_small(self, capsys):
+        assert main(["simulate", "--arch", "crossbar", "--ports", "4",
+                     "--load", "0.2", "--slots", "60", "--warmup", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "crossbar 4x4" in out
+        assert "throughput" in out
+
+    def test_sweep_small(self, capsys):
+        assert main(["sweep", "--arch", "fully_connected", "--ports", "4",
+                     "--slots", "80", "--loads", "0.1", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "fully_connected 4x4" in out
+        assert out.count("0.") > 4
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "140" in out and "222" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--cycles", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "banyan[1,1]" in out
+        assert "calibration" in out

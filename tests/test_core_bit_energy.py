@@ -1,0 +1,174 @@
+"""Runtime energy models: LUTs, MUX interpolation, buffer model."""
+
+import pytest
+
+from repro.core import tables
+from repro.core.bit_energy import (
+    BufferEnergyModel,
+    EnergyModelSet,
+    MuxEnergyLUT,
+    SwitchEnergyLUT,
+)
+from repro.errors import ConfigurationError
+from repro.tech import TECH_180NM
+from repro.tech.wires import WireModel
+from repro.units import fJ, pJ
+
+
+class TestSwitchEnergyLUT:
+    def test_paper_constructors_match_tables(self):
+        assert SwitchEnergyLUT.crossbar_crosspoint().lookup((1,)) == pytest.approx(
+            fJ(220)
+        )
+        assert SwitchEnergyLUT.banyan_binary().lookup((1, 1)) == pytest.approx(
+            fJ(1821)
+        )
+        assert SwitchEnergyLUT.batcher_sorting().lookup((0, 1)) == pytest.approx(
+            fJ(1253)
+        )
+
+    def test_lookup_normalises_booleans(self):
+        lut = SwitchEnergyLUT.banyan_binary()
+        assert lut.lookup((True, False)) == lut.lookup((1, 0))
+
+    def test_wrong_arity_rejected(self):
+        lut = SwitchEnergyLUT.banyan_binary()
+        with pytest.raises(ConfigurationError):
+            lut.lookup((1,))
+
+    def test_energy_per_bit_shares_dual_vector(self):
+        lut = SwitchEnergyLUT.banyan_binary()
+        assert lut.energy_per_bit(2) == pytest.approx(fJ(1821) / 2)
+        assert lut.energy_per_bit(1) == pytest.approx(fJ(1080))
+
+    def test_energy_per_bit_occupancy_bounds(self):
+        lut = SwitchEnergyLUT.banyan_binary()
+        with pytest.raises(ConfigurationError):
+            lut.energy_per_bit(0)
+        with pytest.raises(ConfigurationError):
+            lut.energy_per_bit(3)
+
+    def test_sparse_table_fallback_scales_occupancy(self):
+        lut = SwitchEnergyLUT(
+            3, {(0, 0, 0): 0.0, (1, 0, 0): fJ(100)}, name="sparse"
+        )
+        # Unknown occupancy-2 vector: scaled from occupancy 1.
+        assert lut.lookup((1, 1, 0)) == pytest.approx(fJ(200))
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwitchEnergyLUT(2, {})
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwitchEnergyLUT(1, {(1,): -1.0})
+
+    def test_items_sorted(self):
+        lut = SwitchEnergyLUT.banyan_binary()
+        vectors = [v for v, _ in lut.items()]
+        assert vectors == sorted(vectors)
+
+
+class TestMuxEnergyLUT:
+    @pytest.mark.parametrize("ports", [4, 8, 16, 32])
+    def test_table_sizes_exact(self, ports):
+        lut = MuxEnergyLUT(ports)
+        vector = tuple([1] + [0] * (ports - 1))
+        assert lut.lookup(vector) == pytest.approx(
+            tables.MUX_ENERGY_BY_PORTS[ports]
+        )
+
+    def test_all_idle_is_zero(self):
+        lut = MuxEnergyLUT(8)
+        assert lut.lookup((0,) * 8) == 0.0
+
+    def test_energy_independent_of_which_input(self):
+        lut = MuxEnergyLUT(4)
+        assert lut.lookup((1, 0, 0, 0)) == lut.lookup((0, 0, 0, 1))
+
+    def test_interpolation_monotone(self):
+        values = [MuxEnergyLUT.interpolate_energy(n) for n in (4, 6, 8, 12, 16, 24, 32, 64)]
+        assert values == sorted(values)
+
+    def test_extrapolation_above_table(self):
+        e64 = MuxEnergyLUT.interpolate_energy(64)
+        assert e64 > tables.MUX_ENERGY_BY_PORTS[32]
+
+    def test_extrapolation_below_table(self):
+        e2 = MuxEnergyLUT.interpolate_energy(2)
+        assert 0 < e2 < tables.MUX_ENERGY_BY_PORTS[4]
+
+    def test_rejects_single_input(self):
+        with pytest.raises(ConfigurationError):
+            MuxEnergyLUT.interpolate_energy(1)
+
+
+class TestBufferEnergyModel:
+    def test_word_granularity_default(self):
+        model = BufferEnergyModel(access_energy_j=pJ(140))
+        # 512-bit cell = 16 word accesses, write + read.
+        assert model.buffering_energy_j(512) == pytest.approx(pJ(140) * 16 * 2)
+
+    def test_bit_granularity_literal_eq1(self):
+        model = BufferEnergyModel(
+            access_energy_j=pJ(140), charge_granularity="bit"
+        )
+        assert model.buffering_energy_j(512) == pytest.approx(pJ(140) * 512 * 2)
+
+    def test_single_access_mode(self):
+        model = BufferEnergyModel(
+            access_energy_j=pJ(140), charge_read_and_write=False
+        )
+        assert model.accesses_per_buffering == 1
+        assert model.read_energy_j(512) == 0.0
+        assert model.write_energy_j(512) == pytest.approx(pJ(140) * 16)
+
+    def test_partial_word_rounds_up(self):
+        model = BufferEnergyModel(access_energy_j=pJ(100), word_bits=32)
+        assert model.write_energy_j(33) == pytest.approx(pJ(100) * 2)
+
+    def test_effective_bit_energy(self):
+        word = BufferEnergyModel(access_energy_j=pJ(140))
+        bit = BufferEnergyModel(access_energy_j=pJ(140), charge_granularity="bit")
+        assert word.effective_bit_energy_j == pytest.approx(pJ(140) / 32)
+        assert bit.effective_bit_energy_j == pytest.approx(pJ(140))
+
+    def test_sram_has_no_refresh(self):
+        model = BufferEnergyModel(access_energy_j=pJ(140))
+        assert model.refresh_energy_for(4096, 1.0) == 0.0
+
+    def test_dram_refresh_scales_with_time_and_bits(self):
+        model = BufferEnergyModel(
+            access_energy_j=pJ(90),
+            refresh_energy_j=pJ(2),
+            refresh_period_s=64e-3,
+            charge_granularity="bit",
+        )
+        one = model.refresh_energy_for(1000, 64e-3)
+        assert one == pytest.approx(pJ(2) * 1000)
+        assert model.refresh_energy_for(1000, 128e-3) == pytest.approx(2 * one)
+
+    def test_from_table2(self):
+        model = BufferEnergyModel.from_table2(16)
+        assert model.access_energy_j == pytest.approx(pJ(154))
+
+    def test_from_table2_unknown_ports(self):
+        with pytest.raises(ConfigurationError):
+            BufferEnergyModel.from_table2(64)
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BufferEnergyModel(access_energy_j=pJ(1), charge_granularity="byte")
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BufferEnergyModel(access_energy_j=-1.0)
+
+
+class TestEnergyModelSet:
+    def test_grid_energy_passthrough(self):
+        models = EnergyModelSet(
+            switch=SwitchEnergyLUT.banyan_binary(),
+            wire=WireModel(TECH_180NM),
+        )
+        assert models.grid_energy_j == pytest.approx(fJ(87), rel=0.005)

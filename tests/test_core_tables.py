@@ -1,0 +1,88 @@
+"""Published table data (paper Tables 1 and 2)."""
+
+import pytest
+
+from repro.core import tables
+from repro.units import fJ, pJ
+
+
+class TestTable1:
+    def test_crossbar_values(self):
+        assert tables.CROSSBAR_SWITCH_ENERGY[(0,)] == 0.0
+        assert tables.CROSSBAR_SWITCH_ENERGY[(1,)] == pytest.approx(fJ(220))
+
+    def test_banyan_values(self):
+        t = tables.BANYAN_SWITCH_ENERGY
+        assert t[(0, 0)] == 0.0
+        assert t[(0, 1)] == t[(1, 0)] == pytest.approx(fJ(1080))
+        assert t[(1, 1)] == pytest.approx(fJ(1821))
+
+    def test_batcher_values(self):
+        t = tables.BATCHER_SWITCH_ENERGY
+        assert t[(0, 0)] == 0.0
+        assert t[(0, 1)] == t[(1, 0)] == pytest.approx(fJ(1253))
+        assert t[(1, 1)] == pytest.approx(fJ(2025))
+
+    def test_mux_values(self):
+        assert tables.MUX_ENERGY_BY_PORTS == {
+            4: pytest.approx(fJ(431)),
+            8: pytest.approx(fJ(782)),
+            16: pytest.approx(fJ(1350)),
+            32: pytest.approx(fJ(2515)),
+        }
+
+    def test_dual_less_than_twice_single(self):
+        """The paper's key state-dependence observation."""
+        b = tables.BANYAN_SWITCH_ENERGY
+        assert b[(1, 1)] < 2 * b[(0, 1)]
+        s = tables.BATCHER_SWITCH_ENERGY
+        assert s[(1, 1)] < 2 * s[(0, 1)]
+
+    def test_sorting_switch_heavier_than_binary(self):
+        assert (
+            tables.BATCHER_SWITCH_ENERGY[(0, 1)]
+            > tables.BANYAN_SWITCH_ENERGY[(0, 1)]
+        )
+
+
+class TestTable2:
+    def test_rows(self):
+        assert tables.BANYAN_BUFFER_TABLE[4] == (4, 16 * 1024, pytest.approx(pJ(140)))
+        assert tables.BANYAN_BUFFER_TABLE[8] == (12, 48 * 1024, pytest.approx(pJ(140)))
+        assert tables.BANYAN_BUFFER_TABLE[16] == (
+            32,
+            128 * 1024,
+            pytest.approx(pJ(154)),
+        )
+        assert tables.BANYAN_BUFFER_TABLE[32] == (
+            80,
+            320 * 1024,
+            pytest.approx(pJ(222)),
+        )
+
+    @pytest.mark.parametrize("ports,switches", [(4, 4), (8, 12), (16, 32), (32, 80)])
+    def test_switch_count_formula_matches_table(self, ports, switches):
+        assert tables.banyan_switch_count(ports) == switches
+
+    @pytest.mark.parametrize("ports", [4, 8, 16, 32])
+    def test_shared_sram_formula_matches_table(self, ports):
+        assert tables.banyan_shared_sram_bits(ports) == (
+            tables.BANYAN_BUFFER_TABLE[ports][1]
+        )
+
+    def test_buffer_energy_exceeds_wire_energy(self):
+        """Section 5.1's "buffer penalty": storing a bit costs far more
+        than moving it over a grid of wire."""
+        cheapest_buffer = min(tables.BANYAN_BUFFER_ENERGY_BY_PORTS.values())
+        assert cheapest_buffer > 100 * tables.PAPER_GRID_BIT_ENERGY_J
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, -4])
+    def test_switch_count_rejects_non_power_of_two(self, bad):
+        with pytest.raises(ValueError):
+            tables.banyan_switch_count(bad)
+
+
+def test_paper_constants():
+    assert tables.MAX_INPUT_QUEUED_THROUGHPUT == pytest.approx(0.586)
+    assert tables.PAPER_PORT_COUNTS == (4, 8, 16, 32)
+    assert tables.PAPER_THROUGHPUT_RANGE == (0.10, 0.50)

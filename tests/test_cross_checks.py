@@ -1,0 +1,146 @@
+"""Consistency checks across independent model implementations.
+
+These tests tie together modules that implement the same physics in
+different ways — closed forms vs layouts vs the dynamic simulator — so
+a regression in any one of them breaks an equality here.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_cell
+from repro.core import tables
+from repro.core.analytical import banyan_wire_grids
+from repro.fabrics import topology
+from repro.fabrics.factory import build_fabric
+from repro.router.cells import CellFormat
+from repro.sim import ledger as cat
+from repro.sim.tracer import count_flips
+from repro.tech import TECH_180NM
+from repro.thompson.embedding import embed_graph
+from repro.thompson.layouts import BanyanLayout
+
+E_T = TECH_180NM.grid_bit_energy_j
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    log_ports=st.integers(min_value=1, max_value=6),
+    src=st.integers(min_value=0, max_value=63),
+    dest=st.integers(min_value=0, max_value=63),
+)
+def test_cross_link_count_equals_hamming_distance(log_ports, src, dest):
+    """A banyan path crosses exactly popcount(src XOR dest) stages.
+
+    This links the topology's routing to the per-link wire accounting:
+    the stages a cell pays the long cross wire for are exactly the
+    address bits on which source and destination differ.
+    """
+    ports = 1 << log_ports
+    src %= ports
+    dest %= ports
+    path = topology.path_lines(ports, src, dest)
+    crossings = sum(
+        topology.crossed(ports, s, a, b)
+        for s, (a, b) in enumerate(zip(path, path[1:]))
+    )
+    assert crossings == bin(src ^ dest).count("1")
+
+
+def test_worst_case_banyan_wire_equals_full_hamming_path():
+    """Eq. 5's wire term is the path from 0 to N-1 (all bits differ)."""
+    for ports in (4, 8, 16, 32):
+        layout = BanyanLayout(ports)
+        path = topology.path_lines(ports, 0, ports - 1)
+        total = 0
+        for stage, (a, b) in enumerate(zip(path, path[1:])):
+            bit = topology.stage_bit(ports, stage)
+            total += layout.link_grids(bit, topology.crossed(ports, stage, a, b),
+                                       mode="per_link")
+        assert total == banyan_wire_grids(ports)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    dest=st.integers(min_value=0, max_value=7),
+    words=st.lists(
+        st.integers(min_value=0, max_value=2**32 - 1), min_size=4, max_size=4
+    ),
+)
+def test_crossbar_fabric_matches_hand_computed_energy(dest, words):
+    """Property: the fabric's ledger equals the closed-form expectation
+    for ANY payload — switch term from Eq. 3, wire term from reference
+    flip counting on both buses."""
+    fmt = CellFormat(bus_width=32, words=4)
+    fabric = build_fabric("crossbar", 8, cell_format=fmt)
+    arr = np.array(words, dtype=np.uint64)
+    cell = make_cell(fmt, dest=dest, words=arr)
+    fabric.advance_slot({0: cell}, slot=0)
+
+    switch_expected = 8 * tables.CROSSBAR_SWITCH_ENERGY[(1,)] * 32 * 4
+    flips = count_flips(arr, 0, 32)
+    wire_expected = flips * 32 * E_T * 2  # row (4N=32 grids) + column
+    assert fabric.ledger.category_total_j(cat.SWITCH) == pytest.approx(
+        switch_expected
+    )
+    assert fabric.ledger.category_total_j(cat.WIRE) == pytest.approx(
+        wire_expected
+    )
+
+
+def test_generic_embedder_vs_manual_layout_banyan():
+    """The heuristic embedder must be a legal upper bound: its total
+    banyan wire length is at least the manual layout's straight-path
+    floor and every edge is measured."""
+    ports = 8
+    graph = topology.banyan_graph(ports)
+    embedding = embed_graph(graph)
+    assert len(embedding.edge_lengths) == graph.number_of_edges()
+    layout = BanyanLayout(ports)
+    # Manual floor: every inter-stage link at the straight pitch.
+    floor = graph.number_of_edges() * layout.stage_straight_grids(0)
+    assert embedding.total_wire_grids >= floor
+
+
+def test_estimator_and_fabric_share_table1():
+    """Changing the LUT moves both estimator and simulator identically
+    (they must consume the same Table 1 source)."""
+    from repro.core.bit_energy import SwitchEnergyLUT
+    from repro.core.estimator import estimate_power
+
+    doubled = SwitchEnergyLUT(
+        1,
+        {vec: 2 * e for vec, e in tables.CROSSBAR_SWITCH_ENERGY.items()},
+        name="2x",
+    )
+    base = estimate_power("crossbar", 8, 0.5)
+    hot = estimate_power("crossbar", 8, 0.5, switch_lut=doubled)
+    assert hot.switch_energy_j == pytest.approx(2 * base.switch_energy_j)
+
+    fmt = CellFormat(bus_width=32, words=4)
+    from dataclasses import replace
+
+    from repro.fabrics.factory import default_models
+
+    models = replace(default_models("crossbar", 8), switch=doubled)
+    fabric = build_fabric("crossbar", 8, cell_format=fmt, models=models)
+    fabric.advance_slot({0: make_cell(fmt, dest=1)}, slot=0)
+    assert fabric.ledger.category_total_j(cat.SWITCH) == pytest.approx(
+        2 * 8 * tables.CROSSBAR_SWITCH_ENERGY[(1,)] * 32 * 4
+    )
+
+
+def test_batcher_schedule_matches_layout_span_accounting():
+    """The dynamic fabric's sorter schedule and the Thompson layout
+    agree on every substage's compare span."""
+    from repro.fabrics.batcher import bitonic_schedule
+    from repro.thompson.layouts import BatcherBanyanLayout
+
+    for ports in (4, 8, 16):
+        layout = BatcherBanyanLayout(ports)
+        for substage in bitonic_schedule(ports):
+            assert substage.span == layout.sorter_substage_span(
+                substage.phase, substage.step
+            )

@@ -1,0 +1,30 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.TopologyError,
+        errors.EmbeddingError,
+        errors.SimulationError,
+        errors.CharacterizationError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.TopologyError("bad ports")
+
+
+def test_distinct_types():
+    assert not issubclass(errors.TopologyError, errors.EmbeddingError)
+    assert not issubclass(errors.SimulationError, errors.ConfigurationError)

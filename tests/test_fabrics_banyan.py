@@ -1,0 +1,218 @@
+"""Banyan fabric: self-routing transport, contention, buffer energy."""
+
+import numpy as np
+import pytest
+
+from conftest import constant_word_cell, make_cell, popcount
+from repro.errors import ConfigurationError, SimulationError
+from repro.fabrics.factory import build_fabric
+from repro.sim import ledger as cat
+from repro.tech import TECH_180NM
+from repro.units import fJ, pJ
+
+E_T = TECH_180NM.grid_bit_energy_j
+
+
+def drain(fabric, max_slots=50, start_slot=1):
+    """Advance empty slots until the fabric is empty; return deliveries."""
+    delivered = []
+    slot = start_slot
+    while fabric.in_flight() > 0 and slot < start_slot + max_slots:
+        delivered.extend(fabric.advance_slot({}, slot=slot))
+        slot += 1
+    return delivered
+
+
+@pytest.fixture
+def fabric4(cell_format):
+    return build_fabric("banyan", 4, cell_format=cell_format)
+
+
+@pytest.fixture
+def fabric8(cell_format):
+    return build_fabric("banyan", 8, cell_format=cell_format)
+
+
+class TestTransport:
+    @pytest.mark.parametrize("ports", [2, 4, 8, 16])
+    def test_every_src_dest_pair_delivers(self, ports, cell_format):
+        for src in range(ports):
+            for dest in range(ports):
+                fabric = build_fabric("banyan", ports, cell_format=cell_format)
+                cell = make_cell(cell_format, dest=dest, src=src)
+                fabric.advance_slot({src: cell}, slot=0)
+                delivered = drain(fabric)
+                assert len(delivered) == 1
+                assert delivered[0].dest_port == dest
+
+    def test_one_stage_per_slot_latency(self, fabric8, cell_format):
+        """A lone cell needs exactly n slots after admission (n=3)."""
+        cell = make_cell(cell_format, dest=5)
+        fabric8.advance_slot({0: cell}, slot=0)
+        assert fabric8.advance_slot({}, slot=1) == []
+        assert fabric8.advance_slot({}, slot=2) == []
+        assert len(fabric8.advance_slot({}, slot=3)) == 1
+
+    def test_in_flight_tracking(self, fabric4, cell_format):
+        fabric4.advance_slot({0: make_cell(cell_format, dest=3)}, slot=0)
+        assert fabric4.in_flight() == 1
+        drain(fabric4)
+        assert fabric4.in_flight() == 0
+
+    def test_admission_blocked_while_latch_full(self, fabric4, cell_format):
+        fabric4.advance_slot({0: make_cell(cell_format, dest=3)}, slot=0)
+        # Cell sits in the stage-0 latch until the next slot processes it.
+        assert not fabric4.can_admit(0)
+        assert fabric4.can_admit(1)
+        fabric4.advance_slot({}, slot=1)
+        assert fabric4.can_admit(0)
+
+
+class TestExactEnergy:
+    def test_contention_free_cell_energy(self, fabric4, cell_format):
+        """Port 0 -> dest 0 at N=4: straight path, no contention.
+
+        Switch: two stages at vector (1,0)/(0,1) -> 1080 fJ each.
+        Wire (worst-case mode): ingress 4 + stage0 (span 2) 8 + stage1
+        (span 1) 4 grids, all resting at 0, payload constant.
+        """
+        word = 0b111  # 3 flips per virgin link
+        cell = constant_word_cell(cell_format, dest=0, word=word)
+        fabric4.advance_slot({0: cell}, slot=0)
+        drain(fabric4)
+        switch = fabric4.ledger.category_total_j(cat.SWITCH)
+        assert switch == pytest.approx(2 * fJ(1080) * 32 * 16)
+        wire = fabric4.ledger.category_total_j(cat.WIRE)
+        assert wire == pytest.approx(popcount(word) * (4 + 8 + 4) * E_T)
+        assert fabric4.ledger.category_total_j(cat.BUFFER) == 0.0
+
+    def test_per_link_mode_straight_path_cheaper(self, cell_format):
+        worst = build_fabric("banyan", 4, cell_format=cell_format)
+        per_link = build_fabric(
+            "banyan", 4, cell_format=cell_format, wire_mode="per_link"
+        )
+        for fabric in (worst, per_link):
+            cell = constant_word_cell(cell_format, dest=0, word=0xF)
+            fabric.advance_slot({0: cell}, slot=0)
+            drain(fabric)
+        # Straight path: per-link charges 4+4+4, worst-case 4+8+4.
+        assert per_link.ledger.category_total_j(cat.WIRE) == pytest.approx(
+            popcount(0xF) * 12 * E_T
+        )
+        assert worst.ledger.category_total_j(cat.WIRE) == pytest.approx(
+            popcount(0xF) * 16 * E_T
+        )
+
+    def test_forced_contention_buffers_loser_exactly_once(
+        self, fabric4, cell_format
+    ):
+        """Ports 0 and 2 -> dests 0 and 1 collide on stage-0 output 0.
+
+        The loser pays one write + one read of a 512-bit cell at the
+        Table 2 energy (140 pJ/word-access, 16 words).
+        """
+        a = make_cell(cell_format, dest=0, src=0, packet_id=0)
+        b = make_cell(cell_format, dest=1, src=2, packet_id=1)
+        fabric4.advance_slot({0: a, 2: b}, slot=0)
+        delivered = drain(fabric4)
+        assert {c.packet_id for c in delivered} == {0, 1}
+        assert fabric4.ledger.counter("contentions") == 1
+        assert fabric4.ledger.counter("cells_buffered") == 1
+        expected_buffer = pJ(140) * 16 * 2  # write + read, word accesses
+        assert fabric4.ledger.category_total_j(cat.BUFFER) == pytest.approx(
+            expected_buffer
+        )
+
+    def test_bit_granularity_buffering(self, cell_format):
+        fabric = build_fabric(
+            "banyan", 4, cell_format=cell_format, buffer_charge_granularity="bit"
+        )
+        a = make_cell(cell_format, dest=0, src=0, packet_id=0)
+        b = make_cell(cell_format, dest=1, src=2, packet_id=1)
+        fabric.advance_slot({0: a, 2: b}, slot=0)
+        drain(fabric)
+        expected = pJ(140) * 512 * 2  # every bit charged
+        assert fabric.ledger.category_total_j(cat.BUFFER) == pytest.approx(expected)
+
+    def test_no_contention_no_buffer_energy(self, fabric8, cell_format):
+        """An identity permutation routes straight with zero blocking."""
+        admitted = {
+            p: make_cell(cell_format, dest=p, src=p, packet_id=p) for p in range(8)
+        }
+        fabric8.advance_slot(admitted, slot=0)
+        delivered = drain(fabric8)
+        assert len(delivered) == 8
+        assert fabric8.ledger.category_total_j(cat.BUFFER) == 0.0
+
+
+class TestBufferBackpressure:
+    def test_buffer_capacity_respected(self, cell_format):
+        fabric = build_fabric(
+            "banyan", 4, cell_format=cell_format, buffer_cells_per_switch=1
+        )
+        assert fabric.buffer_cells_per_switch == 1
+        # Saturate input 0 and 2 with colliding traffic for many slots.
+        slot = 0
+        pid = 0
+        for _ in range(20):
+            admitted = {}
+            for src, dest in ((0, 0), (2, 1)):
+                if fabric.can_admit(src):
+                    admitted[src] = make_cell(
+                        cell_format, dest=dest, src=src, packet_id=pid
+                    )
+                    pid += 1
+            fabric.advance_slot(admitted, slot=slot)
+            slot += 1
+            assert fabric.buffer_occupancy_peak_cells <= 1
+        drain(fabric, max_slots=100, start_slot=slot)
+        assert fabric.in_flight() == 0
+
+    def test_requires_buffer_model(self, cell_format):
+        from repro.core.bit_energy import EnergyModelSet, SwitchEnergyLUT
+        from repro.tech.wires import WireModel
+
+        models = EnergyModelSet(
+            switch=SwitchEnergyLUT.banyan_binary(), wire=WireModel(TECH_180NM)
+        )
+        from repro.fabrics.banyan import BanyanFabric
+
+        with pytest.raises(ConfigurationError):
+            BanyanFabric(8, models, cell_format=cell_format)
+
+    def test_dram_refresh_energy_accrues(self, cell_format):
+        fabric = build_fabric(
+            "banyan", 4, cell_format=cell_format, buffer_memory="dram"
+        )
+        fabric.configure_timing(5.12e-6)
+        a = make_cell(cell_format, dest=0, src=0, packet_id=0)
+        b = make_cell(cell_format, dest=1, src=2, packet_id=1)
+        fabric.advance_slot({0: a, 2: b}, slot=0)
+        drain(fabric)
+        assert fabric.ledger.category_total_j(cat.REFRESH) > 0.0
+
+
+class TestConservation:
+    def test_every_admitted_cell_eventually_delivered(self, cell_format):
+        """No cell is ever lost, even under heavy random contention."""
+        rng = np.random.default_rng(42)
+        fabric = build_fabric("banyan", 8, cell_format=cell_format)
+        sent = 0
+        slot = 0
+        for _ in range(60):
+            admitted = {}
+            dests = set()
+            for src in range(8):
+                if rng.random() < 0.6 and fabric.can_admit(src):
+                    dest = int(rng.integers(0, 8))
+                    if dest not in dests:
+                        admitted[src] = make_cell(
+                            cell_format, dest=dest, src=src, packet_id=sent
+                        )
+                        dests.add(dest)
+                        sent += 1
+            fabric.advance_slot(admitted, slot=slot)
+            slot += 1
+        drain(fabric, max_slots=300, start_slot=slot)
+        assert fabric.in_flight() == 0
+        assert fabric.ledger.counter("cells_delivered") == sent

@@ -1,0 +1,83 @@
+"""Bitonic sorting network: schedule shape and sorting correctness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.fabrics import batcher
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("ports,expected", [(4, 3), (8, 6), (16, 10), (32, 15)])
+    def test_substage_count_matches_paper(self, ports, expected):
+        assert batcher.substage_count(ports) == expected
+        assert len(batcher.bitonic_schedule(ports)) == expected
+
+    def test_each_substage_covers_all_lines(self):
+        for substage in batcher.bitonic_schedule(16):
+            lines = []
+            for comp in substage.comparators:
+                lines.extend((comp.low, comp.high))
+            assert sorted(lines) == list(range(16))
+
+    def test_spans_match_phase_step(self):
+        for substage in batcher.bitonic_schedule(32):
+            assert substage.span == 2 ** (substage.phase - substage.step)
+            for comp in substage.comparators:
+                assert comp.high - comp.low == substage.span
+
+    def test_final_phase_all_ascending(self):
+        last_phase = max(s.phase for s in batcher.bitonic_schedule(16))
+        for substage in batcher.bitonic_schedule(16):
+            if substage.phase == last_phase:
+                assert all(c.ascending for c in substage.comparators)
+
+    def test_bad_ports(self):
+        with pytest.raises(TopologyError):
+            batcher.bitonic_schedule(6)
+
+
+class TestSorting:
+    def test_sorts_reverse(self):
+        assert batcher.bitonic_sort_keys([7, 6, 5, 4, 3, 2, 1, 0]) == list(range(8))
+
+    def test_sorts_with_duplicates(self):
+        assert batcher.bitonic_sort_keys([2, 2, 1, 1]) == [1, 1, 2, 2]
+
+    def test_sorts_infinities(self):
+        inf = float("inf")
+        result = batcher.bitonic_sort_keys([inf, 3, inf, 1])
+        assert result == [1, 3, inf, inf]
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=5).flatmap(
+            lambda n: st.lists(
+                st.integers(min_value=-1000, max_value=1000),
+                min_size=2**n,
+                max_size=2**n,
+            )
+        )
+    )
+    def test_sorts_arbitrary_sequences(self, keys):
+        """Property: the network equals sorted() on every input."""
+        assert batcher.bitonic_sort_keys(keys) == sorted(keys)
+
+
+class TestSortingPermutation:
+    def test_concentrates_ascending(self):
+        dests = {5: 9, 1: 3, 7: 12}
+        perm = batcher.sorting_permutation(dests, 16)
+        assert perm == {1: 0, 5: 1, 7: 2}
+
+    def test_empty(self):
+        assert batcher.sorting_permutation({}, 8) == {}
+
+    def test_full_permutation(self):
+        dests = {i: (i * 5) % 8 for i in range(8)}
+        perm = batcher.sorting_permutation(dests, 8)
+        # Output line order must equal destination order.
+        out_by_dest = sorted(dests.items(), key=lambda kv: kv[1])
+        for rank, (in_line, _) in enumerate(out_by_dest):
+            assert perm[in_line] == rank

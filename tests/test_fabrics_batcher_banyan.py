@@ -1,0 +1,163 @@
+"""Batcher-Banyan fabric: sorting, non-blocking property, energy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_cell
+from repro.core import tables
+from repro.errors import ConfigurationError
+from repro.fabrics.factory import build_fabric
+from repro.router.cells import CellFormat
+from repro.sim import ledger as cat
+from repro.units import fJ
+
+
+@pytest.fixture
+def fabric8(cell_format):
+    return build_fabric("batcher_banyan", 8, cell_format=cell_format)
+
+
+class TestTransport:
+    def test_single_cell_delivered_same_slot(self, fabric8, cell_format):
+        delivered = fabric8.advance_slot(
+            {3: make_cell(cell_format, dest=6, src=3)}, slot=0
+        )
+        assert len(delivered) == 1
+        assert delivered[0].dest_port == 6
+
+    def test_full_permutation_delivered(self, fabric8, cell_format):
+        perm = [3, 6, 0, 5, 1, 7, 2, 4]
+        admitted = {
+            p: make_cell(cell_format, dest=perm[p], src=p, packet_id=p)
+            for p in range(8)
+        }
+        delivered = fabric8.advance_slot(admitted, slot=0)
+        assert sorted(c.dest_port for c in delivered) == list(range(8))
+        by_pid = {c.packet_id: c.dest_port for c in delivered}
+        assert by_pid == {p: perm[p] for p in range(8)}
+
+    def test_empty_slot(self, fabric8):
+        assert fabric8.advance_slot({}, slot=0) == []
+        assert fabric8.ledger.total_j == 0.0
+
+    def test_stateless_fabric(self, fabric8):
+        assert fabric8.in_flight() == 0
+
+    def test_requires_four_ports(self, cell_format):
+        with pytest.raises(ConfigurationError):
+            build_fabric("batcher_banyan", 2, cell_format=cell_format)
+
+    def test_requires_sorting_lut(self, cell_format):
+        from repro.core.bit_energy import EnergyModelSet, SwitchEnergyLUT
+        from repro.fabrics.batcher_banyan import BatcherBanyanFabric
+        from repro.tech import TECH_180NM
+        from repro.tech.wires import WireModel
+
+        models = EnergyModelSet(
+            switch=SwitchEnergyLUT.banyan_binary(), wire=WireModel(TECH_180NM)
+        )
+        with pytest.raises(ConfigurationError):
+            BatcherBanyanFabric(8, models, cell_format=cell_format)
+
+
+class TestNonBlockingProperty:
+    """The architecture's defining claim: sorted batches never block.
+
+    The fabric raises SimulationError if the banyan ever sees a
+    conflict, so plain successful delivery IS the property."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data(), log_ports=st.sampled_from([2, 3, 4, 5]))
+    def test_random_distinct_destination_batches(self, data, log_ports):
+        ports = 1 << log_ports
+        fmt = CellFormat(bus_width=32, words=4)
+        fabric = build_fabric("batcher_banyan", ports, cell_format=fmt)
+        k = data.draw(st.integers(min_value=1, max_value=ports))
+        srcs = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=ports - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        dests = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=ports - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        admitted = {
+            src: make_cell(fmt, dest=dest, src=src, packet_id=i)
+            for i, (src, dest) in enumerate(zip(srcs, dests))
+        }
+        delivered = fabric.advance_slot(admitted, slot=0)
+        assert sorted(c.dest_port for c in delivered) == sorted(dests)
+
+    def test_exhaustive_8_port_single_and_pairs(self, cell_format):
+        for d1 in range(8):
+            for d2 in range(8):
+                if d1 == d2:
+                    continue
+                fabric = build_fabric("batcher_banyan", 8, cell_format=cell_format)
+                admitted = {
+                    0: make_cell(cell_format, dest=d1, src=0, packet_id=0),
+                    5: make_cell(cell_format, dest=d2, src=5, packet_id=1),
+                }
+                delivered = fabric.advance_slot(admitted, slot=0)
+                assert sorted(c.dest_port for c in delivered) == sorted([d1, d2])
+
+
+class TestEnergy:
+    def test_no_buffer_energy_by_construction(self, fabric8, cell_format):
+        admitted = {
+            p: make_cell(cell_format, dest=(3 * p + 1) % 8, src=p, packet_id=p)
+            for p in range(8)
+        }
+        fabric8.advance_slot(admitted, slot=0)
+        assert fabric8.ledger.category_total_j(cat.BUFFER) == 0.0
+        assert fabric8.ledger.category_total_j(cat.REFRESH) == 0.0
+
+    def test_single_cell_switch_energy_counts_all_stages(
+        self, fabric8, cell_format
+    ):
+        """A lone cell traverses all 6 sorter substages + 3 banyan stages.
+
+        Sorting switches see occupancy (0,1) or (1,0); banyan likewise.
+        """
+        fabric8.advance_slot({0: make_cell(cell_format, dest=7)}, slot=0)
+        expected = (6 * fJ(1253) + 3 * fJ(1080)) * 32 * 16
+        assert fabric8.ledger.category_total_j(cat.SWITCH) == pytest.approx(expected)
+
+    def test_more_cells_more_switch_energy(self, fabric8, cell_format):
+        one = build_fabric("batcher_banyan", 8)
+        one.advance_slot({0: make_cell(cell_format, dest=7)}, slot=0)
+        full = build_fabric("batcher_banyan", 8)
+        admitted = {
+            p: make_cell(cell_format, dest=p, src=p, packet_id=p) for p in range(8)
+        }
+        full.advance_slot(admitted, slot=0)
+        assert full.ledger.category_total_j(cat.SWITCH) > one.ledger.category_total_j(
+            cat.SWITCH
+        )
+
+    def test_dual_occupancy_discount(self, cell_format):
+        """Two cells sharing sorting switches cost less than twice one
+        cell (Table 1 state dependence)."""
+        one = build_fabric("batcher_banyan", 4, cell_format=cell_format)
+        one.advance_slot({0: make_cell(cell_format, dest=0)}, slot=0)
+        two = build_fabric("batcher_banyan", 4, cell_format=cell_format)
+        two.advance_slot(
+            {
+                0: make_cell(cell_format, dest=0, src=0, packet_id=0),
+                1: make_cell(cell_format, dest=1, src=1, packet_id=1),
+            },
+            slot=0,
+        )
+        one_switch = one.ledger.category_total_j(cat.SWITCH)
+        two_switch = two.ledger.category_total_j(cat.SWITCH)
+        assert one_switch < two_switch < 2 * one_switch

@@ -1,0 +1,107 @@
+"""Crossbar fabric: exact energy accounting against Eq. 3."""
+
+import numpy as np
+import pytest
+
+from conftest import constant_word_cell, make_cell, popcount
+from repro.errors import SimulationError
+from repro.fabrics.factory import build_fabric
+from repro.router.cells import CellFormat
+from repro.sim import ledger as cat
+from repro.tech import TECH_180NM
+from repro.units import fJ
+
+E_T = TECH_180NM.grid_bit_energy_j
+
+
+@pytest.fixture
+def fabric(cell_format):
+    return build_fabric("crossbar", 8, cell_format=cell_format)
+
+
+class TestExactEnergy:
+    def test_single_cell_switch_energy(self, fabric, cell_format):
+        """Switch energy = N * E_S[1] * bus_width * words (Eq. 3 term)."""
+        cell = constant_word_cell(cell_format, dest=3, word=0)
+        fabric.advance_slot({0: cell}, slot=0)
+        expected = 8 * fJ(220) * 32 * 16
+        assert fabric.ledger.category_total_j(cat.SWITCH) == pytest.approx(expected)
+
+    def test_single_cell_wire_energy_counts_flips(self, fabric, cell_format):
+        """Wire energy = flips * (4N row + 4N col) * E_T."""
+        word = 0b1011  # 3 set bits
+        cell = constant_word_cell(cell_format, dest=3, word=word)
+        fabric.advance_slot({0: cell}, slot=0)
+        flips = popcount(word)  # resting 0 -> word, then constant
+        expected = flips * 32 * E_T + flips * 32 * E_T  # row + col, 4N=32
+        assert fabric.ledger.category_total_j(cat.WIRE) == pytest.approx(expected)
+
+    def test_repeated_identical_cell_costs_no_wire_energy(self, fabric, cell_format):
+        cell1 = constant_word_cell(cell_format, dest=3, word=0xFF)
+        cell2 = constant_word_cell(cell_format, dest=3, word=0xFF, packet_id=1)
+        fabric.advance_slot({0: cell1}, slot=0)
+        before = fabric.ledger.category_total_j(cat.WIRE)
+        fabric.advance_slot({0: cell2}, slot=1)
+        assert fabric.ledger.category_total_j(cat.WIRE) == pytest.approx(before)
+
+    def test_different_column_pays_column_wire_again(self, fabric, cell_format):
+        cell1 = constant_word_cell(cell_format, dest=3, word=0xFF)
+        cell2 = constant_word_cell(cell_format, dest=5, word=0xFF, packet_id=1)
+        fabric.advance_slot({0: cell1}, slot=0)
+        before = fabric.ledger.category_total_j(cat.WIRE)
+        fabric.advance_slot({0: cell2}, slot=1)
+        added = fabric.ledger.category_total_j(cat.WIRE) - before
+        # Row 0 already rests at 0xFF (free); column 5 rests at 0.
+        assert added == pytest.approx(8 * 32 * E_T)
+
+    def test_no_buffer_energy_ever(self, fabric, cell_format):
+        for slot in range(5):
+            cell = make_cell(cell_format, dest=slot % 8, packet_id=slot)
+            fabric.advance_slot({0: cell}, slot=slot)
+        assert fabric.ledger.category_total_j(cat.BUFFER) == 0.0
+        assert fabric.ledger.category_total_j(cat.REFRESH) == 0.0
+
+
+class TestTransport:
+    def test_all_cells_delivered_same_slot(self, fabric, cell_format):
+        admitted = {
+            p: make_cell(cell_format, dest=(p + 1) % 8, src=p, packet_id=p)
+            for p in range(8)
+        }
+        delivered = fabric.advance_slot(admitted, slot=0)
+        assert {c.packet_id for c in delivered} == set(range(8))
+
+    def test_empty_slot_costs_nothing(self, fabric):
+        fabric.advance_slot({}, slot=0)
+        assert fabric.ledger.total_j == 0.0
+
+    def test_always_admits(self, fabric):
+        assert all(fabric.can_admit(p) for p in range(8))
+        assert fabric.in_flight() == 0
+
+    def test_duplicate_destination_rejected(self, fabric, cell_format):
+        admitted = {
+            0: make_cell(cell_format, dest=3, packet_id=0),
+            1: make_cell(cell_format, dest=3, src=1, packet_id=1),
+        }
+        with pytest.raises(SimulationError):
+            fabric.advance_slot(admitted, slot=0)
+
+    def test_wrong_cell_size_rejected(self, fabric):
+        small_fmt = CellFormat(bus_width=32, words=4)
+        cell = make_cell(small_fmt, dest=1)
+        with pytest.raises(SimulationError):
+            fabric.advance_slot({0: cell}, slot=0)
+
+    def test_full_permutation_energy_scales_with_cells(self, cell_format):
+        fabric = build_fabric("crossbar", 4, cell_format=cell_format)
+        one = build_fabric("crossbar", 4, cell_format=cell_format)
+        cells = {
+            p: constant_word_cell(cell_format, dest=(p + 1) % 4, word=0xF0F0, packet_id=p)
+            for p in range(4)
+        }
+        fabric.advance_slot(cells, slot=0)
+        one.advance_slot({0: cells[0]}, slot=0)
+        # Four independent cells cost exactly four times one cell
+        # (disjoint rows and columns, identical payloads).
+        assert fabric.ledger.total_j == pytest.approx(4 * one.ledger.total_j)

@@ -1,0 +1,103 @@
+"""Fabric/model factories."""
+
+import pytest
+
+from repro.core import tables
+from repro.core.bit_energy import MuxEnergyLUT, SwitchEnergyLUT
+from repro.errors import ConfigurationError
+from repro.fabrics import (
+    BanyanFabric,
+    BatcherBanyanFabric,
+    CrossbarFabric,
+    FullyConnectedFabric,
+    build_fabric,
+    default_models,
+)
+from repro.router.cells import CellFormat
+from repro.tech import TECH_130NM
+
+
+class TestDefaultModels:
+    def test_crossbar_models(self):
+        models = default_models("crossbar", 8)
+        assert models.switch.lookup((1,)) == pytest.approx(
+            tables.CROSSBAR_SWITCH_ENERGY[(1,)]
+        )
+        assert models.buffer is None
+
+    def test_fully_connected_mux_sized_to_ports(self):
+        models = default_models("fully_connected", 16)
+        assert isinstance(models.switch, MuxEnergyLUT)
+        assert models.switch.n_inputs == 16
+
+    def test_banyan_gets_table2_buffer(self):
+        models = default_models("banyan", 16)
+        assert models.buffer is not None
+        assert models.buffer.access_energy_j == pytest.approx(
+            tables.BANYAN_BUFFER_ENERGY_BY_PORTS[16]
+        )
+
+    def test_batcher_banyan_gets_two_luts(self):
+        models = default_models("batcher_banyan", 8)
+        assert models.sorting_switch is not None
+        assert models.sorting_switch.lookup((1, 1)) > models.switch.lookup((1, 1))
+
+    def test_technology_changes_wire_model(self):
+        m180 = default_models("crossbar", 8)
+        m130 = default_models("crossbar", 8, tech=TECH_130NM)
+        assert m130.grid_energy_j < m180.grid_energy_j
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ConfigurationError):
+            default_models("clos", 8)
+
+
+class TestBuildFabric:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("crossbar", CrossbarFabric),
+            ("fc", FullyConnectedFabric),
+            ("banyan", BanyanFabric),
+            ("batcher", BatcherBanyanFabric),
+        ],
+    )
+    def test_dispatch_with_aliases(self, name, cls):
+        assert isinstance(build_fabric(name, 8), cls)
+
+    def test_banyan_capacity_follows_queue_bits(self):
+        # 4 Kbit queue / 512-bit cells = 8 cells.
+        fabric = build_fabric("banyan", 8)
+        assert fabric.buffer_cells_per_switch == 8
+        # Half the queue -> half the cells.
+        small = build_fabric("banyan", 8, buffer_bits_per_switch=2048)
+        assert small.buffer_cells_per_switch == 4
+        # Bigger cells -> fewer fit.
+        fat = build_fabric("banyan", 8, cell_format=CellFormat(words=32))
+        assert fat.buffer_cells_per_switch == 4
+
+    def test_explicit_capacity_override(self):
+        fabric = build_fabric("banyan", 8, buffer_cells_per_switch=2)
+        assert fabric.buffer_cells_per_switch == 2
+
+    def test_dram_option(self):
+        fabric = build_fabric("banyan", 8, buffer_memory="dram")
+        assert fabric.models.buffer.refresh_energy_j > 0
+
+    def test_wire_mode_propagates(self):
+        fabric = build_fabric("banyan", 8, wire_mode="per_link")
+        assert fabric.wire_mode == "per_link"
+
+    def test_custom_models_respected(self):
+        lut = SwitchEnergyLUT(1, {(0,): 0.0, (1,): 1e-15}, name="tiny")
+        models = default_models("crossbar", 8)
+        from dataclasses import replace
+
+        fabric = build_fabric(
+            "crossbar", 8, models=replace(models, switch=lut)
+        )
+        assert fabric.models.switch is not models.switch
+
+    def test_bad_wire_mode(self):
+        with pytest.raises(ConfigurationError):
+            build_fabric("crossbar", 8, wire_mode="median")

@@ -1,0 +1,76 @@
+"""Fully connected fabric: exact energy accounting against Eq. 4."""
+
+import pytest
+
+from conftest import constant_word_cell, make_cell, popcount
+from repro.core import tables
+from repro.fabrics.factory import build_fabric
+from repro.sim import ledger as cat
+from repro.tech import TECH_180NM
+
+E_T = TECH_180NM.grid_bit_energy_j
+
+
+@pytest.fixture
+def fabric(cell_format):
+    return build_fabric("fully_connected", 8, cell_format=cell_format)
+
+
+class TestExactEnergy:
+    def test_single_cell_switch_energy(self, fabric, cell_format):
+        """One MUX traversal: E_MUX(8) * bus_width * words."""
+        cell = constant_word_cell(cell_format, dest=5, word=0)
+        fabric.advance_slot({2: cell}, slot=0)
+        expected = tables.MUX_ENERGY_BY_PORTS[8] * 32 * 16
+        assert fabric.ledger.category_total_j(cat.SWITCH) == pytest.approx(expected)
+
+    def test_single_cell_wire_energy(self, fabric, cell_format):
+        """Worst-case mode: flips * N^2/2 * E_T."""
+        word = 0xFF  # 8 set bits
+        cell = constant_word_cell(cell_format, dest=5, word=word)
+        fabric.advance_slot({2: cell}, slot=0)
+        expected = popcount(word) * 32 * E_T  # 8*8/2 = 32 grids
+        assert fabric.ledger.category_total_j(cat.WIRE) == pytest.approx(expected)
+
+    def test_bus_state_shared_across_destinations(self, fabric, cell_format):
+        """The input bus is one physical wire: same payload to a second
+        destination costs no wire energy."""
+        c1 = constant_word_cell(cell_format, dest=5, word=0xFF)
+        c2 = constant_word_cell(cell_format, dest=6, word=0xFF, packet_id=1)
+        fabric.advance_slot({2: c1}, slot=0)
+        before = fabric.ledger.category_total_j(cat.WIRE)
+        fabric.advance_slot({2: c2}, slot=1)
+        assert fabric.ledger.category_total_j(cat.WIRE) == pytest.approx(before)
+
+    def test_per_link_mode_cheaper_on_average(self, cell_format):
+        worst = build_fabric("fully_connected", 16, cell_format=cell_format)
+        per_link = build_fabric(
+            "fully_connected", 16, cell_format=cell_format, wire_mode="per_link"
+        )
+        for fabric in (worst, per_link):
+            for slot in range(16):
+                cell = constant_word_cell(
+                    cell_format, dest=slot, word=0xAAAA, packet_id=slot
+                )
+                fabric.advance_slot({0: cell}, slot=slot)
+        assert per_link.ledger.category_total_j(
+            cat.WIRE
+        ) < worst.ledger.category_total_j(cat.WIRE)
+
+    def test_no_buffers(self, fabric, cell_format):
+        fabric.advance_slot({0: make_cell(cell_format, dest=1)}, slot=0)
+        assert fabric.ledger.category_total_j(cat.BUFFER) == 0.0
+
+
+class TestTransport:
+    def test_delivers_whole_permutation(self, fabric, cell_format):
+        admitted = {
+            p: make_cell(cell_format, dest=7 - p, src=p, packet_id=p)
+            for p in range(8)
+        }
+        delivered = fabric.advance_slot(admitted, slot=0)
+        assert sorted(c.dest_port for c in delivered) == list(range(8))
+
+    def test_stateless(self, fabric):
+        assert fabric.in_flight() == 0
+        assert fabric.can_admit(0)

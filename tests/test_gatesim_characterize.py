@@ -1,0 +1,117 @@
+"""Table 1 regeneration: structure of the characterised LUTs."""
+
+import pytest
+
+from repro.gatesim.characterize import (
+    calibrate_scale,
+    calibrated_luts,
+    characterize_crosspoint,
+    characterize_mux,
+    characterize_switch,
+    regenerate_table1,
+)
+
+# Characterisation is deterministic; one module-scoped run keeps the
+# suite fast.
+CYCLES = 96
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return regenerate_table1(cycles=CYCLES)
+
+
+class TestStructure:
+    """The properties the paper's Table 1 exhibits, from first principles."""
+
+    def test_idle_vectors_are_exactly_zero(self, table1):
+        assert table1["luts"]["crossbar"].lookup((0,)) == 0.0
+        assert table1["luts"]["banyan"].lookup((0, 0)) == 0.0
+        assert table1["luts"]["batcher"].lookup((0, 0)) == 0.0
+
+    def test_symmetric_single_occupancy(self):
+        lut = characterize_switch("banyan", cycles=CYCLES)
+        a = lut.lookup((0, 1))
+        b = lut.lookup((1, 0))
+        assert a == pytest.approx(b, rel=0.15)
+
+    def test_dual_costs_more_but_less_than_twice(self, table1):
+        for kind in ("banyan", "batcher"):
+            lut = table1["luts"][kind]
+            single = lut.lookup((0, 1))
+            dual = lut.lookup((1, 1))
+            assert single < dual < 2 * single
+
+    def test_sorting_switch_heavier_than_binary(self, table1):
+        assert table1["luts"]["batcher"].lookup((0, 1)) > table1["luts"][
+            "banyan"
+        ].lookup((0, 1))
+        assert table1["luts"]["batcher"].lookup((1, 1)) > table1["luts"][
+            "banyan"
+        ].lookup((1, 1))
+
+    def test_crosspoint_much_lighter_than_2x2(self, table1):
+        assert table1["luts"]["crossbar"].lookup((1,)) < 0.5 * table1["luts"][
+            "banyan"
+        ].lookup((0, 1))
+
+    def test_mux_energy_grows_with_inputs(self, table1):
+        mux = table1["mux_raw"]
+        assert mux[4] < mux[8] < mux[16] < mux[32]
+
+    def test_mux_growth_near_table1_profile(self, table1):
+        """Paper: 431 -> 2515 fJ is a 5.8x rise from N=4 to N=32."""
+        ratio = table1["mux_raw"][32] / table1["mux_raw"][4]
+        assert 4.0 < ratio < 8.5
+
+
+class TestCalibration:
+    def test_scale_positive_and_stable(self, table1):
+        assert table1["scale"] > 0
+        # Calibrated values within 3x of the paper on every entry.
+        for key, cal in table1["calibrated"].items():
+            ref = table1["reference"][key]
+            assert cal == pytest.approx(ref, rel=2.0)
+
+    def test_calibrate_scale_identity(self):
+        points = {"a": 2.0, "b": 8.0}
+        assert calibrate_scale(points, points) == pytest.approx(1.0)
+
+    def test_calibrate_scale_geometric(self):
+        raw = {"a": 1.0, "b": 1.0}
+        ref = {"a": 2.0, "b": 8.0}
+        assert calibrate_scale(raw, ref) == pytest.approx(4.0)
+
+    def test_no_overlap_rejected(self):
+        from repro.errors import CharacterizationError
+
+        with pytest.raises(CharacterizationError):
+            calibrate_scale({"a": 1.0}, {"b": 1.0})
+
+    def test_calibrated_luts_usable_in_energy_models(self):
+        luts = calibrated_luts(cycles=64)
+        assert luts["banyan"].lookup((1, 1)) > 0
+        assert luts["mux"][8].energy_per_bit(1) > 0
+
+
+class TestDrivers:
+    def test_crosspoint_vectors(self):
+        lut = characterize_crosspoint(cycles=CYCLES)
+        assert lut.lookup((0,)) == 0.0
+        assert lut.lookup((1,)) > 0.0
+
+    def test_unknown_kind_rejected(self):
+        from repro.errors import CharacterizationError
+
+        with pytest.raises(CharacterizationError):
+            characterize_switch("clos", cycles=32)
+
+    def test_mux_background_activity_increases_energy(self):
+        quiet = characterize_mux(8, cycles=64, background_activity=0.0)
+        noisy = characterize_mux(8, cycles=64, background_activity=0.5)
+        assert noisy > quiet
+
+    def test_determinism(self):
+        a = characterize_switch("banyan", cycles=64, seed=3)
+        b = characterize_switch("banyan", cycles=64, seed=3)
+        assert a.lookup((1, 1)) == b.lookup((1, 1))

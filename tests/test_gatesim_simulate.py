@@ -1,0 +1,137 @@
+"""Gate-level cycle simulation and toggle counting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.gatesim.cells import CellLibrary
+from repro.gatesim.netlist import Netlist
+from repro.gatesim.power import estimate_energy
+from repro.gatesim.simulate import (
+    constant_stream,
+    held_random_stream,
+    random_bit_stream,
+    simulate,
+)
+from repro.tech import TECH_180NM
+
+
+@pytest.fixture
+def lib():
+    return CellLibrary(TECH_180NM)
+
+
+def inverter_netlist(lib):
+    nl = Netlist(lib)
+    a = nl.add_input("a")
+    y = nl.add_gate("INV", [a])
+    nl.add_output("y", y)
+    return nl, a, y
+
+
+class TestSimulate:
+    def test_inverter_output_values(self, lib):
+        nl, a, y = inverter_netlist(lib)
+        trace = simulate(nl, {"a": np.array([0, 1, 0, 1], dtype=np.int8)})
+        assert list(trace.output_values["y"]) == [1, 0, 1, 0]
+
+    def test_toggle_counting(self, lib):
+        nl, a, y = inverter_netlist(lib)
+        trace = simulate(
+            nl,
+            {"a": np.array([0, 1, 1, 0], dtype=np.int8)},
+            settle_cycles=2,
+        )
+        # a toggles 0->1 and 1->0 (2); y mirrors (2).
+        assert trace.toggles(a) == 2
+        assert trace.toggles(y) == 2
+
+    def test_settle_suppresses_poweron_transient(self, lib):
+        nl, a, y = inverter_netlist(lib)
+        # Constant-0 input: INV output rises once at power-on.
+        no_settle = simulate(nl, {"a": constant_stream(8, 0)})
+        settled = simulate(nl, {"a": constant_stream(8, 0)}, settle_cycles=2)
+        assert no_settle.toggles(y) == 1
+        assert settled.toggles(y) == 0
+
+    def test_dff_delays_one_cycle(self, lib):
+        nl = Netlist(lib)
+        d = nl.add_input("d")
+        q = nl.add_gate("DFF", [d])
+        nl.add_output("q", q)
+        trace = simulate(nl, {"d": np.array([1, 0, 1, 1], dtype=np.int8)})
+        assert list(trace.output_values["q"]) == [0, 1, 0, 1]
+
+    def test_missing_stimulus_rejected(self, lib):
+        nl, a, y = inverter_netlist(lib)
+        with pytest.raises(CharacterizationError):
+            simulate(nl, {})
+
+    def test_unequal_lengths_rejected(self, lib):
+        nl = Netlist(lib)
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.add_output("y", nl.add_gate("AND2", [a, b]))
+        with pytest.raises(CharacterizationError):
+            simulate(nl, {"a": constant_stream(4, 0), "b": constant_stream(5, 0)})
+
+
+class TestStimulus:
+    def test_random_stream_activity(self):
+        rng = np.random.default_rng(0)
+        stream = random_bit_stream(rng, 10000, activity=0.3)
+        assert stream.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_held_stream_holds(self):
+        rng = np.random.default_rng(0)
+        stream = held_random_stream(rng, 64, hold=16)
+        for block in range(4):
+            chunk = stream[block * 16 : (block + 1) * 16]
+            assert (chunk == chunk[0]).all()
+
+    def test_held_stream_bad_hold(self):
+        with pytest.raises(CharacterizationError):
+            held_random_stream(np.random.default_rng(0), 16, hold=0)
+
+
+class TestPower:
+    def test_idle_circuit_zero_energy(self, lib):
+        nl, a, y = inverter_netlist(lib)
+        trace = simulate(nl, {"a": constant_stream(16, 0)}, settle_cycles=2)
+        report = estimate_energy(nl, trace)
+        assert report.total_j == 0.0
+
+    def test_energy_scales_with_activity(self, lib):
+        nl, a, y = inverter_netlist(lib)
+        lazy = simulate(
+            nl,
+            {"a": np.array([0, 1] + [1] * 14, dtype=np.int8)},
+            settle_cycles=2,
+        )
+        busy = simulate(
+            nl,
+            {"a": np.tile(np.array([0, 1], dtype=np.int8), 8)},
+            settle_cycles=2,
+        )
+        assert estimate_energy(nl, busy).total_j > estimate_energy(nl, lazy).total_j
+
+    def test_clock_energy_charged_per_cycle(self, lib):
+        nl = Netlist(lib)
+        d = nl.add_input("d")
+        nl.add_output("q", nl.add_gate("DFF", [d]))
+        trace = simulate(nl, {"d": constant_stream(10, 0)}, settle_cycles=2)
+        report = estimate_energy(nl, trace)
+        assert report.clock_j > 0
+        gated = estimate_energy(nl, trace, clock_active_cycles=0)
+        assert gated.clock_j == 0.0
+
+    def test_switching_energy_matches_half_cv2(self, lib):
+        """One net toggle = 1/2 * C_load * V^2 exactly."""
+        nl, a, y = inverter_netlist(lib)
+        trace = simulate(
+            nl, {"a": np.array([0, 1], dtype=np.int8)}, settle_cycles=2
+        )
+        report = estimate_energy(nl, trace)
+        v = lib.voltage_v
+        expected = 0.5 * v * v * (nl.net_load_f(a) + nl.net_load_f(y))
+        assert report.switching_j == pytest.approx(expected)

@@ -1,0 +1,114 @@
+"""Cross-module integration: full router runs, saturation, reassembly."""
+
+import pytest
+
+from repro.analysis.theory import KAROL_HLUCHYJ_TABLE
+from repro.router.traffic import TrimodalPacketTraffic
+from repro.sim.runner import build_router, run_simulation
+from repro.sim.engine import SimulationEngine
+
+
+class TestFullRuns:
+    @pytest.mark.parametrize("arch", ["crossbar", "fully_connected", "banyan",
+                                      "batcher_banyan"])
+    @pytest.mark.parametrize("ports", [4, 16])
+    def test_all_architectures_and_sizes(self, arch, ports):
+        result = run_simulation(
+            arch, ports, load=0.25, arrival_slots=200, warmup_slots=40, seed=11
+        )
+        assert result.throughput == pytest.approx(0.25, abs=0.05)
+        assert result.energy.total_j > 0
+        assert result.total_power_w > 0
+
+    def test_power_scales_sublinearly_then_check_order(self):
+        """At 8 ports / 30% load the cheap fabric is fully connected."""
+        powers = {}
+        for arch in ("crossbar", "fully_connected", "batcher_banyan"):
+            r = run_simulation(arch, 8, load=0.3, arrival_slots=300,
+                               warmup_slots=60, seed=13)
+            powers[arch] = r.total_power_w
+        assert powers["fully_connected"] < powers["crossbar"]
+        assert powers["fully_connected"] < powers["batcher_banyan"]
+
+
+class TestSaturation:
+    def test_hol_limit_emerges_from_input_queueing(self):
+        """Offered load 1.0 must saturate near the Karol/Hluchyj value
+        (paper: max 58.6%); crossbar, 16 ports."""
+        result = run_simulation(
+            "crossbar",
+            16,
+            load=1.0,
+            arrival_slots=1500,
+            warmup_slots=300,
+            seed=17,
+            drain=False,
+        )
+        assert result.throughput == pytest.approx(
+            KAROL_HLUCHYJ_TABLE[16], abs=0.02
+        )
+
+    def test_throughput_never_exceeds_offered(self):
+        for load in (0.2, 0.4):
+            r = run_simulation("crossbar", 8, load=load, arrival_slots=400,
+                               warmup_slots=50, seed=19)
+            assert r.throughput <= load + 0.04
+
+
+class TestMultiCellPackets:
+    def test_trimodal_traffic_reassembles(self):
+        traffic = TrimodalPacketTraffic(8, load=0.3)
+        router = build_router("batcher_banyan", 8, traffic=traffic)
+        engine = SimulationEngine(router, seed=23)
+        result = engine.run(arrival_slots=400, warmup_slots=0)
+        assert result.packets_completed > 0
+        # Every arrival drained: nothing half-reassembled.
+        assert router.egress.incomplete_packets == 0
+        assert result.ingress_backlog_cells == 0
+
+    def test_banyan_reorders_nothing(self):
+        """Cells of one flow share a deterministic path and FIFO
+        buffers, so multi-cell packets always complete."""
+        traffic = TrimodalPacketTraffic(8, load=0.4)
+        router = build_router("banyan", 8, traffic=traffic)
+        engine = SimulationEngine(router, seed=29)
+        result = engine.run(arrival_slots=300, warmup_slots=0)
+        assert router.egress.incomplete_packets == 0
+        assert result.packets_completed > 0
+
+
+class TestWireModeAblation:
+    def test_per_link_cheaper_everywhere(self):
+        for arch in ("banyan", "batcher_banyan", "fully_connected"):
+            worst = run_simulation(arch, 8, load=0.3, arrival_slots=200,
+                                   warmup_slots=40, seed=31)
+            per_link = run_simulation(arch, 8, load=0.3, arrival_slots=200,
+                                      warmup_slots=40, seed=31,
+                                      wire_mode="per_link")
+            assert per_link.energy.wire_j < worst.energy.wire_j
+
+
+class TestCharacterizedLutsEndToEnd:
+    def test_simulation_runs_on_gatesim_luts(self):
+        """The dynamic simulator accepts first-principles LUTs."""
+        from repro.core.bit_energy import EnergyModelSet
+        from repro.fabrics.factory import build_fabric
+        from repro.gatesim.characterize import calibrated_luts
+        from repro.router.router import NetworkRouter
+        from repro.router.traffic import BernoulliUniformTraffic
+        from repro.tech import TECH_180NM
+        from repro.tech.wires import WireModel
+
+        luts = calibrated_luts(cycles=48)
+        models = EnergyModelSet(
+            switch=luts["banyan"],
+            wire=WireModel(TECH_180NM),
+            sorting_switch=luts["batcher"],
+        )
+        fabric = build_fabric("batcher_banyan", 8, models=models)
+        traffic = BernoulliUniformTraffic(8, load=0.3, packet_bits=480)
+        router = NetworkRouter(fabric, traffic)
+        result = SimulationEngine(router, seed=37).run(
+            arrival_slots=120, warmup_slots=20
+        )
+        assert result.energy.switch_j > 0

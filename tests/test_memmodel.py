@@ -1,0 +1,131 @@
+"""SRAM/DRAM macros and buffer model factories (Table 2 substitute)."""
+
+import pytest
+
+from repro.core import tables
+from repro.errors import ConfigurationError
+from repro.memmodel import (
+    DramMacro,
+    SramMacro,
+    banyan_buffer_model,
+    buffer_model_for_memory,
+    fit_bank_model,
+    shared_buffer_bits,
+)
+from repro.units import pJ
+
+
+class TestSramFit:
+    """The analytical model must reproduce Table 2 within a few percent."""
+
+    @pytest.mark.parametrize("ports", [4, 8, 16, 32])
+    def test_table2_within_tolerance(self, ports):
+        macro = SramMacro.for_banyan(ports)
+        paper = tables.BANYAN_BUFFER_ENERGY_BY_PORTS[ports]
+        assert macro.access_energy_per_bit_j == pytest.approx(paper, rel=0.05)
+
+    def test_bank_count(self):
+        assert SramMacro(16 * 1024).banks == 1
+        assert SramMacro(320 * 1024).banks == 20
+        assert SramMacro(17 * 1024).banks == 2  # ceil
+
+    def test_energy_monotone_in_size(self):
+        sizes = [16, 48, 128, 320, 640, 1280]
+        energies = [
+            SramMacro(s * 1024).access_energy_per_bit_j for s in sizes
+        ]
+        assert energies == sorted(energies)
+
+    def test_extrapolation_beyond_table(self):
+        big = SramMacro.for_banyan(64)  # 64*6/2 * 4K = 768 Kbit
+        assert big.access_energy_per_bit_j > pJ(222)
+
+    def test_word_energy(self):
+        macro = SramMacro(16 * 1024, word_bits=32)
+        assert macro.access_energy_per_word_j == pytest.approx(
+            32 * macro.access_energy_per_bit_j
+        )
+
+    def test_no_refresh(self):
+        assert SramMacro(16 * 1024).refresh_energy_per_bit_j == 0.0
+
+    def test_fit_bank_model_custom_points(self):
+        # Perfectly quadratic data must be fitted exactly.
+        points = {16 * 1024 * b: pJ(100) + pJ(1) * b * b for b in (1, 2, 4, 8)}
+        e_bank, e_route = fit_bank_model(points)
+        assert e_bank == pytest.approx(pJ(100), rel=1e-6)
+        assert e_route == pytest.approx(pJ(1), rel=1e-6)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_bank_model({1024: pJ(100)})
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SramMacro(0)
+        with pytest.raises(ConfigurationError):
+            SramMacro(1024, bank_bits=0)
+
+    def test_table2_row_helper(self):
+        size, pj = SramMacro.for_banyan(4).table2_row()
+        assert size == 16 * 1024
+        assert pj == pytest.approx(140, rel=0.05)
+
+
+class TestDram:
+    def test_access_cheaper_than_sram(self):
+        sram = SramMacro(320 * 1024)
+        dram = DramMacro(320 * 1024)
+        assert dram.access_energy_per_bit_j < sram.access_energy_per_bit_j
+
+    def test_refresh_power_positive(self):
+        assert DramMacro(64 * 1024).refresh_power_w > 0
+
+    def test_refresh_energy_scales(self):
+        dram = DramMacro(64 * 1024)
+        base = dram.refresh_energy_for(1000, 64e-3)
+        assert dram.refresh_energy_for(2000, 64e-3) == pytest.approx(2 * base)
+        assert dram.refresh_energy_for(1000, 128e-3) == pytest.approx(2 * base)
+
+    def test_negative_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramMacro(64 * 1024).refresh_energy_for(-1, 1.0)
+
+
+class TestBufferFactories:
+    def test_shared_size_rule(self):
+        assert shared_buffer_bits(16) == 32 * 4096
+        assert shared_buffer_bits(16, buffer_bits_per_switch=8192) == 32 * 8192
+
+    @pytest.mark.parametrize("ports", [4, 8, 16, 32])
+    def test_paper_rows_verbatim(self, ports):
+        model = banyan_buffer_model(ports)
+        assert model.access_energy_j == pytest.approx(
+            tables.BANYAN_BUFFER_ENERGY_BY_PORTS[ports]
+        )
+
+    def test_non_table_size_uses_macro(self):
+        model = banyan_buffer_model(64)
+        assert model.access_energy_j > pJ(222)
+
+    def test_use_table2_false_uses_macro_everywhere(self):
+        fitted = banyan_buffer_model(16, use_table2=False)
+        # Fit is close to, but not exactly, the published 154 pJ.
+        assert fitted.access_energy_j == pytest.approx(pJ(154), rel=0.05)
+
+    def test_dram_option_has_refresh(self):
+        model = banyan_buffer_model(16, memory="dram")
+        assert model.refresh_energy_j > 0
+
+    def test_granularity_override_passes_through(self):
+        model = banyan_buffer_model(16, charge_granularity="bit")
+        assert model.charge_granularity == "bit"
+
+    def test_unknown_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            banyan_buffer_model(16, memory="flash")
+
+    def test_wrap_dram_macro(self):
+        model = buffer_model_for_memory(DramMacro(64 * 1024))
+        assert model.refresh_energy_j > 0
+        assert model.refresh_period_s == pytest.approx(64e-3)

@@ -1,0 +1,105 @@
+"""The paper's qualitative evaluation claims, at test-friendly scale.
+
+These are the same checks the benches make at full scale (Fig. 9/10,
+Observations 1-3), shrunk to sizes that keep the suite fast.  They are
+the regression net for the reproduction's scientific content.
+"""
+
+import pytest
+
+from repro.sim.runner import run_simulation
+from repro.core.estimator import estimate_power
+
+
+RUN = dict(arrival_slots=400, warmup_slots=80)
+
+
+def power(arch, ports, load, seed=101, **kw):
+    return run_simulation(arch, ports, load=load, seed=seed, **RUN, **kw)
+
+
+class TestObservation1BufferPenalty:
+    """"Interconnect contention has a dramatic impact on the power
+    consumption of Banyan switch ... as the throughput increases, the
+    power consumption increases exponentially."""
+
+    def test_banyan_power_superlinear_in_throughput(self):
+        p1 = power("banyan", 16, 0.15).total_power_w
+        p2 = power("banyan", 16, 0.45).total_power_w
+        # 3x the throughput must cost clearly more than 3x the power.
+        assert p2 > 3.6 * p1
+
+    def test_buffer_share_grows_with_load(self):
+        lo = power("banyan", 16, 0.15)
+        hi = power("banyan", 16, 0.45)
+        assert hi.energy.fraction("buffer") > lo.energy.fraction("buffer")
+
+    def test_banyan_cheapest_at_32_ports_low_load(self):
+        """At 32x32 and low throughput Banyan wins (paper: < 35%)."""
+        results = {
+            arch: power(arch, 32, 0.2).total_power_w
+            for arch in ("banyan", "crossbar", "fully_connected", "batcher_banyan")
+        }
+        assert min(results, key=results.get) == "banyan"
+
+    def test_banyan_not_cheapest_at_32_ports_high_load(self):
+        """Above the crossover the buffer penalty hands the lead back."""
+        banyan = power("banyan", 32, 0.5).total_power_w
+        crossbar = power("crossbar", 32, 0.5).total_power_w
+        assert banyan > crossbar * 0.9  # at/after crossover
+
+
+class TestObservation2ComponentShift:
+    """"For switch fabrics with a small number of ports, internal node
+    switches dominate ... for larger numbers, interconnect wires will
+    gradually dominate."""
+
+    def test_fully_connected_shift_with_ports(self):
+        small = power("fully_connected", 4, 0.4)
+        large = power("fully_connected", 32, 0.4)
+        assert small.energy.fraction("switch") > small.energy.fraction("wire")
+        assert large.energy.fraction("wire") > large.energy.fraction("switch")
+
+    def test_batcher_banyan_wire_share_grows(self):
+        small = power("batcher_banyan", 4, 0.4)
+        large = power("batcher_banyan", 32, 0.4)
+        assert large.energy.fraction("wire") > small.energy.fraction("wire")
+
+
+class TestObservation3LinearScaling:
+    """"The power consumption of crossbar, fully connected and
+    Batcher-Banyan networks increases almost linearly with the increase
+    of the traffic throughput."""
+
+    @pytest.mark.parametrize("arch", ["crossbar", "fully_connected",
+                                      "batcher_banyan"])
+    def test_linear_power_vs_throughput(self, arch):
+        p1 = power(arch, 8, 0.15).total_power_w
+        p3 = power(arch, 8, 0.45).total_power_w
+        assert p3 / p1 == pytest.approx(3.0, rel=0.2)
+
+
+class TestFig10GapNarrowing:
+    """"The power consumption difference between fully connected switch
+    and Batcher-Banyan switch decreases ... as ports increase."""
+
+    def test_gap_narrows_from_4_to_16_ports(self):
+        def gap(ports):
+            fc = power("fully_connected", ports, 0.4).total_power_w
+            bb = power("batcher_banyan", ports, 0.4).total_power_w
+            return (bb - fc) / bb
+
+        assert gap(16) < gap(4)
+
+
+class TestAnalyticAgreesWithSimulation:
+    """The fast estimator must track the simulator within a factor ~2
+    for the bufferless fabrics (it shares the same energy models)."""
+
+    @pytest.mark.parametrize("arch", ["crossbar", "fully_connected",
+                                      "batcher_banyan"])
+    def test_factor_two_agreement(self, arch):
+        sim = power(arch, 8, 0.3)
+        est = estimate_power(arch, 8, sim.throughput)
+        ratio = sim.total_power_w / est.total_power_w
+        assert 0.5 < ratio < 2.0

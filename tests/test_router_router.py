@@ -1,0 +1,89 @@
+"""NetworkRouter assembly and validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabrics.factory import build_fabric
+from repro.router.packet import Packet
+from repro.router.router import NetworkRouter
+from repro.router.traffic import BernoulliUniformTraffic
+
+
+def make_router(ports=4, load=0.3, **kwargs):
+    fabric = build_fabric("crossbar", ports)
+    traffic = BernoulliUniformTraffic(ports, load, packet_bits=480)
+    return NetworkRouter(fabric, traffic, **kwargs)
+
+
+class TestAssembly:
+    def test_port_mismatch_rejected(self):
+        fabric = build_fabric("crossbar", 4)
+        traffic = BernoulliUniformTraffic(8, 0.3)
+        with pytest.raises(ConfigurationError):
+            NetworkRouter(fabric, traffic)
+
+    def test_bus_width_mismatch_rejected(self):
+        fabric = build_fabric("crossbar", 4)
+        traffic = BernoulliUniformTraffic(4, 0.3, bus_width=16)
+        with pytest.raises(ConfigurationError):
+            NetworkRouter(fabric, traffic)
+
+    def test_slot_timing_configured(self):
+        router = make_router()
+        assert router.slot_seconds == pytest.approx(5.12e-6)
+        assert router.fabric.slot_seconds == router.slot_seconds
+
+    def test_default_arbiter_is_fcfs_rr(self):
+        assert make_router().arbiter.name == "fcfs_round_robin"
+
+
+class TestArrivals:
+    def test_accept_routes_to_right_unit(self):
+        router = make_router()
+        rng = np.random.default_rng(0)
+        packet = Packet.random(rng, 0, 2, 3, 480, 32)
+        router.accept_arrivals([packet])
+        assert router.ingress[2].depth == 1
+        assert router.ingress[0].depth == 0
+        assert router.ingress_backlog_cells == 1
+
+    def test_out_of_range_source_rejected(self):
+        router = make_router()
+        rng = np.random.default_rng(0)
+        packet = Packet.random(rng, 0, 9, 3, 480, 32)
+        with pytest.raises(ConfigurationError):
+            router.accept_arrivals([packet])
+
+    def test_ingress_heads_view(self):
+        router = make_router()
+        rng = np.random.default_rng(0)
+        router.accept_arrivals([Packet.random(rng, 0, 1, 3, 480, 32)])
+        heads = router.ingress_heads()
+        assert list(heads) == [1]
+
+
+class TestArbitrateDefault:
+    def test_grants_come_from_queue_heads(self):
+        router = make_router()
+        rng = np.random.default_rng(1)
+        router.accept_arrivals(
+            [
+                Packet.random(rng, 0, 0, 2, 480, 32),
+                Packet.random(rng, 1, 1, 2, 480, 32),  # same destination
+                Packet.random(rng, 2, 2, 3, 480, 32),
+            ]
+        )
+        admitted = router.arbitrate(slot=0)
+        dests = [c.dest_port for c in admitted.values()]
+        assert len(dests) == len(set(dests)) == 2
+        # Granted cells were dequeued.
+        assert router.ingress_backlog_cells == 1
+
+    def test_reset_measurements_clears_stats(self):
+        router = make_router()
+        router.egress.start_measurement()
+        router.egress.tick()
+        router.reset_measurements()
+        assert router.egress.stats.measurement_slots == 0
+        assert router.fabric.ledger.total_j == 0.0

@@ -1,0 +1,174 @@
+"""Traffic generators: load calibration, destinations, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.router.traffic import (
+    BernoulliUniformTraffic,
+    BurstyTraffic,
+    HotspotTraffic,
+    PermutationTraffic,
+    TraceEntry,
+    TraceTraffic,
+    TrimodalPacketTraffic,
+)
+
+
+def measure_load(traffic, slots=3000, seed=5):
+    rng = np.random.default_rng(seed)
+    total = 0
+    for slot in range(slots):
+        total += len(traffic.arrivals(slot, rng))
+    return total / (slots * traffic.ports)
+
+
+class TestBernoulli:
+    def test_load_calibrated(self):
+        traffic = BernoulliUniformTraffic(8, load=0.3)
+        assert measure_load(traffic) == pytest.approx(0.3, abs=0.02)
+
+    def test_zero_load_no_arrivals(self):
+        traffic = BernoulliUniformTraffic(8, load=0.0)
+        assert measure_load(traffic, slots=100) == 0.0
+
+    def test_destinations_cover_all_ports(self):
+        traffic = BernoulliUniformTraffic(8, load=1.0)
+        rng = np.random.default_rng(1)
+        dests = set()
+        for slot in range(200):
+            dests.update(p.dest_port for p in traffic.arrivals(slot, rng))
+        assert dests == set(range(8))
+
+    def test_no_self_option(self):
+        traffic = BernoulliUniformTraffic(4, load=1.0, allow_self=False)
+        rng = np.random.default_rng(2)
+        for slot in range(100):
+            for p in traffic.arrivals(slot, rng):
+                assert p.dest_port != p.src_port
+
+    def test_packet_ids_unique(self):
+        traffic = BernoulliUniformTraffic(4, load=1.0)
+        rng = np.random.default_rng(3)
+        ids = []
+        for slot in range(50):
+            ids.extend(p.packet_id for p in traffic.arrivals(slot, rng))
+        assert len(ids) == len(set(ids))
+
+    def test_determinism_by_rng(self):
+        a = BernoulliUniformTraffic(4, load=0.5)
+        b = BernoulliUniformTraffic(4, load=0.5)
+        pa = [len(a.arrivals(s, np.random.default_rng(9))) for s in range(10)]
+        pb = [len(b.arrivals(s, np.random.default_rng(9))) for s in range(10)]
+        assert pa == pb
+
+    def test_bad_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliUniformTraffic(4, load=1.5)
+
+
+class TestHotspot:
+    def test_hotspot_attracts_fraction(self):
+        traffic = HotspotTraffic(8, load=1.0, hotspot_port=3, hotspot_fraction=0.7)
+        rng = np.random.default_rng(4)
+        hot = total = 0
+        for slot in range(500):
+            for p in traffic.arrivals(slot, rng):
+                total += 1
+                hot += p.dest_port == 3
+        # 0.7 + 0.3/8 expected.
+        assert hot / total == pytest.approx(0.7 + 0.3 / 8, abs=0.03)
+
+    def test_bad_hotspot_port(self):
+        with pytest.raises(ConfigurationError):
+            HotspotTraffic(8, load=0.5, hotspot_port=8)
+
+
+class TestPermutation:
+    def test_fixed_destinations(self):
+        perm = [2, 3, 0, 1]
+        traffic = PermutationTraffic(4, load=1.0, permutation=perm)
+        rng = np.random.default_rng(5)
+        for p in traffic.arrivals(0, rng):
+            assert p.dest_port == perm[p.src_port]
+
+    def test_default_is_shift(self):
+        traffic = PermutationTraffic(4, load=1.0)
+        assert traffic.permutation == [1, 2, 3, 0]
+
+    def test_non_bijection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PermutationTraffic(4, load=0.5, permutation=[0, 0, 1, 2])
+
+
+class TestBursty:
+    def test_long_run_load(self):
+        traffic = BurstyTraffic(8, load=0.3, burst_len=6.0)
+        assert measure_load(traffic, slots=8000) == pytest.approx(0.3, abs=0.04)
+
+    def test_burstiness_creates_runs(self):
+        """Consecutive-arrival runs must be much longer than Bernoulli."""
+        traffic = BurstyTraffic(2, load=0.3, burst_len=10.0)
+        rng = np.random.default_rng(6)
+        arrivals = []
+        for slot in range(4000):
+            ports = {p.src_port for p in traffic.arrivals(slot, rng)}
+            arrivals.append(0 in ports)
+        runs, current = [], 0
+        for a in arrivals:
+            if a:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        mean_run = sum(runs) / len(runs)
+        assert mean_run > 3.0  # Bernoulli at 0.3 would give ~1.4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstyTraffic(4, load=0.0)
+        with pytest.raises(ConfigurationError):
+            BurstyTraffic(4, load=0.3, burst_len=0.5)
+
+
+class TestTrimodal:
+    def test_cell_load_calibrated(self):
+        traffic = TrimodalPacketTraffic(8, load=0.4)
+        rng = np.random.default_rng(7)
+        cells = 0
+        slots = 4000
+        for slot in range(slots):
+            for p in traffic.arrivals(slot, rng):
+                cells += -(-p.size_bits // 480)
+        assert cells / (slots * 8) == pytest.approx(0.4, abs=0.05)
+
+    def test_sizes_from_mix(self):
+        traffic = TrimodalPacketTraffic(8, load=0.5)
+        rng = np.random.default_rng(8)
+        sizes = set()
+        for slot in range(300):
+            sizes.update(p.size_bits for p in traffic.arrivals(slot, rng))
+        assert sizes <= {40 * 8, 576 * 8, 1500 * 8}
+        assert len(sizes) == 3
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            TrimodalPacketTraffic(8, load=0.3, mix=((40, 0.5), (1500, 0.4)))
+
+
+class TestTrace:
+    def test_replays_exactly(self):
+        entries = [
+            TraceEntry(slot=0, src=1, dest=2, size_bits=480),
+            TraceEntry(slot=2, src=0, dest=3, size_bits=960),
+        ]
+        traffic = TraceTraffic(4, entries)
+        rng = np.random.default_rng(9)
+        assert [p.src_port for p in traffic.arrivals(0, rng)] == [1]
+        assert traffic.arrivals(1, rng) == []
+        pkts = traffic.arrivals(2, rng)
+        assert pkts[0].dest_port == 3 and pkts[0].size_bits == 960
+
+    def test_out_of_range_entry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceTraffic(4, [TraceEntry(0, 5, 0, 480)])

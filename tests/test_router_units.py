@@ -1,0 +1,174 @@
+"""Ingress queues, arbiter, egress accounting."""
+
+import numpy as np
+import pytest
+
+from conftest import make_cell
+from repro.errors import ConfigurationError, SimulationError
+from repro.router.arbiter import FcfsRoundRobinArbiter, OldestFirstArbiter
+from repro.router.cells import CellFormat
+from repro.router.egress import EgressUnit
+from repro.router.ingress import IngressUnit
+from repro.router.packet import Packet
+
+
+def _packet(src, dest, size_bits=480, packet_id=0, created_slot=0):
+    rng = np.random.default_rng(packet_id + 100)
+    return Packet.random(
+        rng, packet_id, src, dest, size_bits, 32, created_slot=created_slot
+    )
+
+
+class TestIngress:
+    def test_fifo_order(self, cell_format):
+        unit = IngressUnit(0, cell_format)
+        unit.accept_packet(_packet(0, 1, packet_id=0))
+        unit.accept_packet(_packet(0, 2, packet_id=1))
+        assert unit.head().packet_id == 0
+        assert unit.pop().packet_id == 0
+        assert unit.head().packet_id == 1
+
+    def test_multi_cell_packet_enqueues_all_cells(self, cell_format):
+        unit = IngressUnit(0, cell_format)
+        count = unit.accept_packet(_packet(0, 1, size_bits=1000))
+        assert count == 3  # ceil(1000/480)
+        assert unit.depth == 3
+
+    def test_bounded_queue_drops_whole_packets(self, cell_format):
+        unit = IngressUnit(0, cell_format, queue_capacity_cells=2)
+        assert unit.accept_packet(_packet(0, 1, size_bits=1000)) == 0
+        assert unit.stats.cells_dropped == 3
+        assert unit.depth == 0
+        assert unit.accept_packet(_packet(0, 1, packet_id=1)) == 1
+
+    def test_wrong_port_rejected(self, cell_format):
+        unit = IngressUnit(0, cell_format)
+        with pytest.raises(ConfigurationError):
+            unit.accept_packet(_packet(3, 1))
+
+    def test_pop_empty_raises(self, cell_format):
+        with pytest.raises(ConfigurationError):
+            IngressUnit(0, cell_format).pop()
+
+    def test_stats_track_peak(self, cell_format):
+        unit = IngressUnit(0, cell_format)
+        for i in range(4):
+            unit.accept_packet(_packet(0, 1, packet_id=i))
+        unit.pop()
+        assert unit.stats.queue_peak == 4
+        assert unit.stats.packets_in == 4
+
+
+class TestArbiter:
+    def test_grants_distinct_destinations(self, cell_format):
+        arb = FcfsRoundRobinArbiter(4)
+        heads = {
+            0: make_cell(cell_format, dest=2, src=0, packet_id=0),
+            1: make_cell(cell_format, dest=2, src=1, packet_id=1),
+            2: make_cell(cell_format, dest=3, src=2, packet_id=2),
+        }
+        grants = arb.select(heads, lambda p: True)
+        dests = [c.dest_port for c in grants.values()]
+        assert len(dests) == len(set(dests)) == 2
+
+    def test_fcfs_older_wins(self, cell_format):
+        arb = FcfsRoundRobinArbiter(4)
+        heads = {
+            0: make_cell(cell_format, dest=2, src=0, created_slot=5),
+            1: make_cell(cell_format, dest=2, src=1, created_slot=3),
+        }
+        grants = arb.select(heads, lambda p: True)
+        assert 1 in grants and 0 not in grants
+
+    def test_round_robin_rotates_ties(self, cell_format):
+        arb = FcfsRoundRobinArbiter(2)
+        winners = []
+        for _ in range(4):
+            heads = {
+                0: make_cell(cell_format, dest=1, src=0, created_slot=0),
+                1: make_cell(cell_format, dest=1, src=1, created_slot=0),
+            }
+            grants = arb.select(heads, lambda p: True)
+            winners.append(next(iter(grants)))
+        # The pointer rotation must alternate the tie winner.
+        assert set(winners) == {0, 1}
+
+    def test_respects_can_admit(self, cell_format):
+        arb = FcfsRoundRobinArbiter(4)
+        heads = {0: make_cell(cell_format, dest=2, src=0)}
+        assert arb.select(heads, lambda p: False) == {}
+
+    def test_oldest_first_deterministic(self, cell_format):
+        arb = OldestFirstArbiter(2)
+        for _ in range(3):
+            heads = {
+                0: make_cell(cell_format, dest=1, src=0, created_slot=0),
+                1: make_cell(cell_format, dest=1, src=1, created_slot=0),
+            }
+            grants = arb.select(heads, lambda p: True)
+            assert list(grants) == [0]  # always low port
+
+    def test_empty_heads(self):
+        assert FcfsRoundRobinArbiter(4).select({}, lambda p: True) == {}
+
+    def test_needs_two_ports(self):
+        with pytest.raises(ConfigurationError):
+            FcfsRoundRobinArbiter(1)
+
+
+class TestEgress:
+    def test_throughput_measured_only_in_window(self, cell_format):
+        unit = EgressUnit(4)
+        unit.deliver([make_cell(cell_format, dest=0)], slot=0)  # pre-window
+        unit.start_measurement()
+        for slot in range(1, 5):
+            unit.tick()
+            unit.deliver(
+                [make_cell(cell_format, dest=1, packet_id=slot)], slot=slot
+            )
+        unit.stop_measurement()
+        # 4 cells over 4 slots x 4 ports.
+        assert unit.throughput == pytest.approx(4 / 16)
+
+    def test_packet_reassembly(self, cell_format):
+        from repro.router.cells import segment_packet
+
+        unit = EgressUnit(4)
+        cells = segment_packet(_packet(0, 1, size_bits=1000, packet_id=5), cell_format)
+        assert len(cells) == 3
+        assert unit.deliver(cells[:2], slot=0) == []
+        assert unit.deliver(cells[2:], slot=1) == [5]
+        assert unit.stats.packets_completed == 1
+        assert unit.incomplete_packets == 0
+
+    def test_duplicate_cell_detected(self, cell_format):
+        unit = EgressUnit(4)
+        cell = make_cell(cell_format, dest=1)
+        unit.deliver([cell], slot=0)
+        with pytest.raises(SimulationError):
+            unit.deliver([cell], slot=1)
+
+    def test_latency_stats(self, cell_format):
+        unit = EgressUnit(4)
+        unit.deliver([make_cell(cell_format, dest=1, created_slot=0)], slot=4)
+        unit.deliver(
+            [make_cell(cell_format, dest=2, packet_id=1, created_slot=2)], slot=4
+        )
+        stats = unit.latency_stats()
+        assert stats["count"] == 2
+        assert stats["mean"] == pytest.approx(3.0)
+        assert stats["max"] == 4.0
+
+    def test_bad_port_rejected(self, cell_format):
+        unit = EgressUnit(4)
+        with pytest.raises(SimulationError):
+            unit.deliver([make_cell(cell_format, dest=9)], slot=0)
+
+    def test_reset_measurements(self, cell_format):
+        unit = EgressUnit(4)
+        unit.start_measurement()
+        unit.tick()
+        unit.deliver([make_cell(cell_format, dest=1)], slot=0)
+        unit.reset_measurements()
+        assert unit.stats.cells_delivered == 0
+        assert unit.latency_stats()["count"] == 0

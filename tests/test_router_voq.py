@@ -1,0 +1,140 @@
+"""VOQ ingress + iSLIP matching (the HOL-blocking remedy extension)."""
+
+import numpy as np
+import pytest
+
+from conftest import make_cell
+from repro.errors import ConfigurationError
+from repro.fabrics.factory import build_fabric
+from repro.router.packet import Packet
+from repro.router.traffic import BernoulliUniformTraffic
+from repro.router.voq import IslipArbiter, VoqIngressUnit, VoqNetworkRouter
+from repro.sim.engine import SimulationEngine
+
+
+def _packet(src, dest, packet_id=0, size_bits=480, created_slot=0):
+    rng = np.random.default_rng(packet_id + 1)
+    return Packet.random(rng, packet_id, src, dest, size_bits, 32,
+                         created_slot=created_slot)
+
+
+class TestVoqIngress:
+    def test_per_destination_queues(self, cell_format):
+        unit = VoqIngressUnit(0, 4, cell_format)
+        unit.accept_packet(_packet(0, 1, packet_id=0))
+        unit.accept_packet(_packet(0, 3, packet_id=1))
+        unit.accept_packet(_packet(0, 1, packet_id=2))
+        heads = unit.heads()
+        assert set(heads) == {1, 3}
+        assert heads[1].packet_id == 0  # FIFO within a VOQ
+        assert unit.depth == 3
+
+    def test_pop_specific_destination(self, cell_format):
+        unit = VoqIngressUnit(0, 4, cell_format)
+        unit.accept_packet(_packet(0, 1, packet_id=0))
+        unit.accept_packet(_packet(0, 2, packet_id=1))
+        assert unit.pop(2).packet_id == 1
+        assert unit.pop(1).packet_id == 0
+        with pytest.raises(ConfigurationError):
+            unit.pop(1)
+
+    def test_head_returns_oldest(self, cell_format):
+        unit = VoqIngressUnit(0, 4, cell_format)
+        unit.accept_packet(_packet(0, 3, packet_id=0, created_slot=5))
+        unit.accept_packet(_packet(0, 1, packet_id=1, created_slot=2))
+        assert unit.head().packet_id == 1
+
+    def test_bounded_queue_per_destination(self, cell_format):
+        unit = VoqIngressUnit(0, 4, cell_format, queue_capacity_cells=1)
+        assert unit.accept_packet(_packet(0, 1, packet_id=0)) == 1
+        assert unit.accept_packet(_packet(0, 1, packet_id=1)) == 0  # full
+        assert unit.accept_packet(_packet(0, 2, packet_id=2)) == 1  # other VOQ
+
+    def test_wrong_port_rejected(self, cell_format):
+        unit = VoqIngressUnit(0, 4, cell_format)
+        with pytest.raises(ConfigurationError):
+            unit.accept_packet(_packet(1, 2))
+
+
+class TestIslipArbiter:
+    def test_matches_distinct_outputs(self, cell_format):
+        arb = IslipArbiter(4)
+        requests = {
+            0: {2: make_cell(cell_format, dest=2, src=0, packet_id=0)},
+            1: {2: make_cell(cell_format, dest=2, src=1, packet_id=1)},
+            3: {1: make_cell(cell_format, dest=1, src=3, packet_id=2)},
+        }
+        matched = arb.select(requests, lambda p: True)
+        dests = [dest for dest, _ in matched.values()]
+        assert len(dests) == len(set(dests))
+        assert 3 in matched  # uncontended request always matches
+
+    def test_one_grant_per_input(self, cell_format):
+        arb = IslipArbiter(4)
+        requests = {
+            0: {
+                1: make_cell(cell_format, dest=1, src=0, packet_id=0),
+                2: make_cell(cell_format, dest=2, src=0, packet_id=1),
+            },
+        }
+        matched = arb.select(requests, lambda p: True)
+        assert len(matched) == 1
+
+    def test_pointer_rotation_shares_output(self, cell_format):
+        arb = IslipArbiter(2)
+        winners = []
+        for i in range(4):
+            requests = {
+                0: {1: make_cell(cell_format, dest=1, src=0, packet_id=2 * i)},
+                1: {1: make_cell(cell_format, dest=1, src=1, packet_id=2 * i + 1)},
+            }
+            matched = arb.select(requests, lambda p: True)
+            winners.append(next(iter(matched)))
+        assert set(winners) == {0, 1}  # both inputs served over time
+
+    def test_respects_can_admit(self, cell_format):
+        arb = IslipArbiter(4)
+        requests = {0: {1: make_cell(cell_format, dest=1, src=0)}}
+        assert arb.select(requests, lambda p: False) == {}
+
+
+class TestVoqRouter:
+    def _run(self, router_cls, load, ports=8, slots=1500, seed=5):
+        fabric = build_fabric("crossbar", ports)
+        traffic = BernoulliUniformTraffic(ports, load, packet_bits=480)
+        if router_cls is VoqNetworkRouter:
+            router = VoqNetworkRouter(fabric, traffic)
+        else:
+            from repro.router.router import NetworkRouter
+
+            router = NetworkRouter(fabric, traffic)
+        engine = SimulationEngine(router, seed=seed)
+        return engine.run(arrival_slots=slots, warmup_slots=slots // 5,
+                          drain=False)
+
+    def test_voq_beats_hol_ceiling(self):
+        """iSLIP + VOQ must clear the 58.6% FIFO ceiling decisively."""
+        from repro.router.router import NetworkRouter
+
+        fifo = self._run(NetworkRouter, load=0.95)
+        voq = self._run(VoqNetworkRouter, load=0.95)
+        assert fifo.throughput < 0.66  # HOL-blocked
+        assert voq.throughput > 0.80  # unblocked
+        assert voq.throughput > fifo.throughput + 0.15
+
+    def test_voq_matches_fifo_at_low_load(self):
+        from repro.router.router import NetworkRouter
+
+        fifo = self._run(NetworkRouter, load=0.3, slots=800)
+        voq = self._run(VoqNetworkRouter, load=0.3, slots=800)
+        assert voq.throughput == pytest.approx(fifo.throughput, abs=0.02)
+
+    def test_voq_with_banyan_fabric(self):
+        fabric = build_fabric("banyan", 8)
+        traffic = BernoulliUniformTraffic(8, 0.4, packet_bits=480)
+        router = VoqNetworkRouter(fabric, traffic)
+        result = SimulationEngine(router, seed=9).run(
+            arrival_slots=300, warmup_slots=60
+        )
+        assert result.throughput == pytest.approx(0.4, abs=0.05)
+        assert result.energy.total_j > 0

@@ -1,0 +1,74 @@
+"""Energy ledger bookkeeping."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.ledger import BUFFER, CATEGORIES, REFRESH, SWITCH, WIRE, EnergyLedger
+
+
+class TestRecording:
+    def test_totals(self):
+        ledger = EnergyLedger()
+        ledger.add(SWITCH, "a", 1.0)
+        ledger.add(SWITCH, "b", 2.0)
+        ledger.add(WIRE, "w", 0.5)
+        assert ledger.total_j == pytest.approx(3.5)
+        assert ledger.category_total_j(SWITCH) == pytest.approx(3.0)
+
+    def test_component_accumulation(self):
+        ledger = EnergyLedger()
+        ledger.add(WIRE, "row0", 1.0)
+        ledger.add(WIRE, "row0", 1.5)
+        assert ledger.components(WIRE) == {"row0": pytest.approx(2.5)}
+
+    def test_by_category_always_complete(self):
+        ledger = EnergyLedger()
+        assert set(ledger.by_category()) == set(CATEGORIES)
+        assert all(v == 0.0 for v in ledger.by_category().values())
+
+    def test_zero_energy_not_stored(self):
+        ledger = EnergyLedger()
+        ledger.add(SWITCH, "a", 0.0)
+        assert ledger.components(SWITCH) == {}
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyLedger().add(SWITCH, "a", -1.0)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyLedger().add("leakage", "a", 1.0)
+        with pytest.raises(ConfigurationError):
+            EnergyLedger().category_total_j("leakage")
+
+
+class TestCounters:
+    def test_count_and_query(self):
+        ledger = EnergyLedger()
+        ledger.count("contentions")
+        ledger.count("contentions", 4)
+        assert ledger.counter("contentions") == 5
+        assert ledger.counter("missing") == 0
+        assert ledger.counters() == {"contentions": 5}
+
+
+class TestLifecycle:
+    def test_reset(self):
+        ledger = EnergyLedger()
+        ledger.add(BUFFER, "b", 2.0)
+        ledger.count("x")
+        ledger.reset()
+        assert ledger.total_j == 0.0
+        assert ledger.counters() == {}
+
+    def test_merge(self):
+        a = EnergyLedger()
+        b = EnergyLedger()
+        a.add(SWITCH, "s", 1.0)
+        b.add(SWITCH, "s", 2.0)
+        b.add(REFRESH, "r", 0.25)
+        b.count("flips", 3)
+        a.merge(b)
+        assert a.category_total_j(SWITCH) == pytest.approx(3.0)
+        assert a.category_total_j(REFRESH) == pytest.approx(0.25)
+        assert a.counter("flips") == 3

@@ -1,0 +1,83 @@
+"""Result containers: breakdown math, power accounting, summaries."""
+
+import pytest
+
+from repro.sim.results import EnergyBreakdown, SimulationResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        architecture="crossbar",
+        ports=8,
+        offered_load=0.3,
+        arrival_slots=100,
+        warmup_slots=10,
+        drain_slots=5,
+        slot_seconds=5.12e-6,
+        energy=EnergyBreakdown(switch_j=1e-6, wire_j=2e-6, buffer_j=5e-7,
+                               refresh_j=5e-7),
+        throughput=0.29,
+        delivered_cells=232,
+        delivered_payload_bits=232 * 480,
+        packets_completed=232,
+        latency={"count": 232, "mean": 1.2, "max": 9.0, "p95": 3.0},
+        counters={"wire_flips": 1000},
+        ingress_backlog_cells=0,
+        fabric_in_flight_cells=0,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(1.0, 2.0, 3.0, 0.5)
+        assert e.total_j == pytest.approx(6.5)
+        assert e.buffer_total_j == pytest.approx(3.5)
+
+    def test_fractions_sum_to_one(self):
+        e = EnergyBreakdown(1.0, 2.0, 3.0, 0.5)
+        total = sum(e.fraction(c) for c in ("switch", "wire", "buffer"))
+        assert total == pytest.approx(1.0)
+
+    def test_zero_energy_fractions(self):
+        e = EnergyBreakdown(0.0, 0.0, 0.0, 0.0)
+        assert e.fraction("wire") == 0.0
+
+    def test_dominant(self):
+        assert EnergyBreakdown(5.0, 1.0, 1.0, 0.0).dominant == "switch"
+        assert EnergyBreakdown(1.0, 5.0, 1.0, 0.0).dominant == "wire"
+        assert EnergyBreakdown(1.0, 1.0, 4.0, 2.0).dominant == "buffer"
+
+
+class TestSimulationResult:
+    def test_measurement_window_includes_drain(self):
+        r = make_result()
+        assert r.measurement_slots == 105
+        assert r.measurement_seconds == pytest.approx(105 * 5.12e-6)
+
+    def test_power_is_energy_over_window(self):
+        r = make_result()
+        assert r.total_power_w == pytest.approx(
+            r.energy.total_j / r.measurement_seconds
+        )
+        assert r.total_power_w == pytest.approx(
+            r.switch_power_w + r.wire_power_w + r.buffer_power_w
+        )
+
+    def test_energy_per_bit(self):
+        r = make_result()
+        assert r.energy_per_delivered_bit_j == pytest.approx(
+            r.energy.total_j / (232 * 480)
+        )
+
+    def test_zero_delivery_safe(self):
+        r = make_result(delivered_cells=0, delivered_payload_bits=0)
+        assert r.energy_per_delivered_bit_j == 0.0
+
+    def test_summary_formats(self):
+        text = make_result().summary()
+        assert "crossbar 8x8" in text
+        assert "offered 0.30" in text
+        assert "dominant: wire" in text

@@ -1,0 +1,111 @@
+"""Bit-level wire polarity tracing (paper Section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.tracer import WireTracer, count_flips
+
+
+class TestCountFlips:
+    def test_from_zero_resting(self):
+        # One word of 0xF after resting 0: 4 flips.
+        assert count_flips(np.array([0xF], dtype=np.uint64), 0, 32) == 4
+
+    def test_no_change_no_flips(self):
+        words = np.array([0xAA, 0xAA, 0xAA], dtype=np.uint64)
+        assert count_flips(words, 0xAA, 32) == 0
+
+    def test_alternating_pattern_max_flips(self):
+        words = np.array([0x0, 0xF, 0x0, 0xF], dtype=np.uint64)
+        assert count_flips(words, 0x0, 4) == 3 * 4 + 0  # 0->F, F->0, 0->F
+
+    def test_mask_excludes_high_bits(self):
+        words = np.array([0xFF00], dtype=np.uint64)
+        assert count_flips(words, 0, 8) == 0  # high byte outside 8-bit bus
+
+    def test_empty_sequence(self):
+        assert count_flips(np.array([], dtype=np.uint64), 0xFF, 32) == 0
+
+    def test_sequence_chain(self):
+        # 0b00 -> 0b01 -> 0b11 -> 0b10: 1 + 1 + 1 flips.
+        words = np.array([0b01, 0b11, 0b10], dtype=np.uint64)
+        assert count_flips(words, 0b00, 2) == 3
+
+
+class TestWireTracer:
+    def test_resting_state_persists_between_transfers(self):
+        tracer = WireTracer(8)
+        tracer.transfer("link", np.array([0xFF], dtype=np.uint64))
+        # Second transfer of the same word: no flips.
+        assert tracer.transfer("link", np.array([0xFF], dtype=np.uint64)) == 0
+
+    def test_independent_links(self):
+        tracer = WireTracer(8)
+        tracer.transfer("a", np.array([0xFF], dtype=np.uint64))
+        # Link b still rests at 0.
+        assert tracer.transfer("b", np.array([0xFF], dtype=np.uint64)) == 8
+
+    def test_peek(self):
+        tracer = WireTracer(8)
+        assert tracer.peek("x") == 0
+        tracer.transfer("x", np.array([0x12, 0x34], dtype=np.uint64))
+        assert tracer.peek("x") == 0x34
+
+    def test_counters(self):
+        tracer = WireTracer(4)
+        tracer.transfer("a", np.array([0xF], dtype=np.uint64))
+        tracer.transfer("a", np.array([0x0], dtype=np.uint64))
+        assert tracer.total_flips == 8
+        assert tracer.total_transfers == 2
+        assert tracer.links_seen == 1
+
+    def test_reset_keeps_states(self):
+        tracer = WireTracer(4)
+        tracer.transfer("a", np.array([0xF], dtype=np.uint64))
+        tracer.reset(keep_states=True)
+        assert tracer.total_flips == 0
+        # State kept: same word costs nothing.
+        assert tracer.transfer("a", np.array([0xF], dtype=np.uint64)) == 0
+
+    def test_reset_dropping_states(self):
+        tracer = WireTracer(4)
+        tracer.transfer("a", np.array([0xF], dtype=np.uint64))
+        tracer.reset(keep_states=False)
+        assert tracer.transfer("a", np.array([0xF], dtype=np.uint64)) == 4
+
+    def test_empty_transfer(self):
+        tracer = WireTracer(4)
+        assert tracer.transfer("a", np.array([], dtype=np.uint64)) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    words=st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=20),
+    resting=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_flip_count_equals_reference(words, resting):
+    """Property: numpy popcount path equals a pure-Python reference."""
+    arr = np.array(words, dtype=np.uint64)
+    expected = 0
+    prev = resting
+    for w in words:
+        expected += bin((w ^ prev) & 0xFFFFFFFF).count("1")
+        prev = w
+    assert count_flips(arr, resting, 32) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    words=st.lists(st.integers(min_value=0, max_value=2**16 - 1), min_size=1, max_size=10)
+)
+def test_split_transfer_equals_single_transfer(words):
+    """Property: streaming word-by-word equals one batched transfer."""
+    batched = WireTracer(16)
+    split = WireTracer(16)
+    total_batched = batched.transfer("l", np.array(words, dtype=np.uint64))
+    total_split = sum(
+        split.transfer("l", np.array([w], dtype=np.uint64)) for w in words
+    )
+    assert total_batched == total_split

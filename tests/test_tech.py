@@ -1,0 +1,92 @@
+"""Technology parameters and derived geometry (paper Section 5.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech import (
+    TECH_130NM,
+    TECH_180NM,
+    TECH_250NM,
+    PRESETS,
+    Technology,
+    get_technology,
+)
+from repro.units import fJ, um
+
+
+class TestTechnologyValidation:
+    def test_rejects_nonpositive_feature_size(self):
+        with pytest.raises(ConfigurationError):
+            Technology("x", 0.0, 3.3, 0.5e-9, 1e-6)
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(ConfigurationError):
+            Technology("x", 180e-9, -1.0, 0.5e-9, 1e-6)
+
+    def test_rejects_nonpositive_wire_cap(self):
+        with pytest.raises(ConfigurationError):
+            Technology("x", 180e-9, 3.3, 0.0, 1e-6)
+
+    def test_rejects_nonpositive_pitch(self):
+        with pytest.raises(ConfigurationError):
+            Technology("x", 180e-9, 3.3, 0.5e-9, 0.0)
+
+    def test_rejects_zero_bus_width(self):
+        with pytest.raises(ConfigurationError):
+            Technology("x", 180e-9, 3.3, 0.5e-9, 1e-6, bus_width_bits=0)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ConfigurationError):
+            Technology("x", 180e-9, 3.3, 0.5e-9, 1e-6, clock_hz=0.0)
+
+
+class TestPaperNode:
+    """The 0.18 um preset must match Section 5.1 numbers exactly."""
+
+    def test_thompson_grid_is_32um(self):
+        # 32-bit bus at 1 um pitch -> 32 um grid.
+        assert TECH_180NM.thompson_grid_m == pytest.approx(um(32))
+
+    def test_grid_wire_capacitance_16ff(self):
+        # 0.50 fF/um x 32 um = 16 fF.
+        assert TECH_180NM.grid_wire_capacitance_f == pytest.approx(16e-15)
+
+    def test_grid_bit_energy_is_87fj(self):
+        # E_T = 1/2 * 16 fF * 3.3^2 = 87.1 fJ (paper quotes 87).
+        assert TECH_180NM.grid_bit_energy_j == pytest.approx(fJ(87), rel=0.005)
+
+    def test_line_rate_is_100baset(self):
+        assert TECH_180NM.line_rate_bps == pytest.approx(100e6)
+
+    def test_clock_is_133mhz(self):
+        assert TECH_180NM.clock_hz == pytest.approx(133e6)
+        assert TECH_180NM.cycle_time_s == pytest.approx(1 / 133e6)
+
+
+class TestScaling:
+    def test_scaled_returns_modified_copy(self):
+        lowv = TECH_180NM.scaled(voltage_v=1.8)
+        assert lowv.voltage_v == 1.8
+        assert lowv.wire_pitch_m == TECH_180NM.wire_pitch_m
+        assert TECH_180NM.voltage_v == 3.3  # original untouched
+
+    def test_grid_energy_scales_with_v_squared(self):
+        half_v = TECH_180NM.scaled(voltage_v=3.3 / 2)
+        ratio = TECH_180NM.grid_bit_energy_j / half_v.grid_bit_energy_j
+        assert ratio == pytest.approx(4.0)
+
+    def test_newer_node_has_lower_grid_energy(self):
+        assert TECH_130NM.grid_bit_energy_j < TECH_180NM.grid_bit_energy_j
+        assert TECH_180NM.grid_bit_energy_j < TECH_250NM.grid_bit_energy_j
+
+
+class TestPresets:
+    def test_registry_contains_all(self):
+        assert set(PRESETS) == {"0.25um", "0.18um", "0.13um"}
+
+    def test_lookup_by_name(self):
+        assert get_technology("0.18um") is TECH_180NM
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(ConfigurationError, match="0.18um"):
+            get_technology("7nm")

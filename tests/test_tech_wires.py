@@ -1,0 +1,78 @@
+"""Wire capacitance / flip-energy model (paper Eq. 2, Section 3.3-3.4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech import TECH_180NM
+from repro.tech.wires import WireGeometry, WireModel
+from repro.units import fJ
+
+
+class TestWireModel:
+    def test_grid_flip_energy_matches_paper(self, wire_model):
+        assert wire_model.grid_flip_energy_j == pytest.approx(fJ(87), rel=0.005)
+
+    def test_energy_linear_in_length(self, wire_model):
+        one = wire_model.flip_energy_j(1)
+        ten = wire_model.flip_energy_j(10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_zero_length_zero_energy(self, wire_model):
+        assert wire_model.flip_energy_j(0) == 0.0
+
+    def test_negative_length_rejected(self, wire_model):
+        with pytest.raises(ConfigurationError):
+            wire_model.flip_energy_j(-1)
+
+    def test_input_cap_adds_energy(self):
+        bare = WireModel(TECH_180NM)
+        loaded = WireModel(TECH_180NM, input_cap_per_grid_f=16e-15)
+        # Doubling the per-grid capacitance doubles E_T.
+        assert loaded.grid_flip_energy_j == pytest.approx(
+            2 * bare.grid_flip_energy_j
+        )
+
+    def test_negative_input_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WireModel(TECH_180NM, input_cap_per_grid_f=-1e-15)
+
+    def test_fractional_grid_lengths_supported(self, wire_model):
+        assert wire_model.flip_energy_j(0.5) == pytest.approx(
+            0.5 * wire_model.grid_flip_energy_j
+        )
+
+
+class TestWireGeometry:
+    def test_components_positive(self):
+        geo = WireGeometry()
+        assert geo.area_cap_per_m() > 0
+        assert geo.fringe_cap_per_m() > 0
+        assert geo.coupling_cap_per_m() > 0
+
+    def test_default_total_near_half_ff_per_um(self):
+        # The default 0.18um geometry should land in the neighbourhood
+        # of the paper's 0.50 fF/um figure (within 2x).
+        total = WireGeometry().total_cap_per_m()
+        per_um = total * 1e-6
+        assert 0.2e-15 < per_um < 1.0e-15
+
+    def test_switching_factor_scales_coupling(self):
+        geo = WireGeometry()
+        quiet = geo.total_cap_per_m(switching_factor=0.0)
+        worst = geo.total_cap_per_m(switching_factor=2.0)
+        assert worst > quiet
+        assert worst - quiet == pytest.approx(2 * geo.coupling_cap_per_m())
+
+    def test_negative_switching_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WireGeometry().total_cap_per_m(switching_factor=-0.5)
+
+    def test_geometry_overrides_tech_cap(self):
+        geo = WireGeometry()
+        model = WireModel(TECH_180NM, geometry=geo)
+        assert model.cap_per_m == pytest.approx(geo.total_cap_per_m())
+
+    def test_tighter_spacing_more_coupling(self):
+        wide = WireGeometry(spacing_m=1.0e-6)
+        tight = WireGeometry(spacing_m=0.25e-6)
+        assert tight.coupling_cap_per_m() > wide.coupling_cap_per_m()

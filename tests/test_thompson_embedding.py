@@ -1,0 +1,110 @@
+"""Generic heuristic Thompson embedder."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmbeddingError
+from repro.fabrics.topology import banyan_graph
+from repro.thompson.embedding import embed_graph
+
+
+class TestBasicGraphs:
+    def test_single_edge(self):
+        g = nx.DiGraph([(0, 1)])
+        emb = embed_graph(g)
+        assert emb.length(0, 1) >= 1
+        assert emb.total_wire_grids >= 1
+
+    def test_path_graph(self):
+        g = nx.path_graph(5, create_using=nx.DiGraph)
+        emb = embed_graph(g)
+        assert len(emb.edge_lengths) == 4
+        assert all(length >= 1 for length in emb.edge_lengths.values())
+
+    def test_star_graph(self):
+        g = nx.star_graph(6)  # undirected hub + 6 leaves
+        emb = embed_graph(g)
+        assert len(emb.edge_lengths) == 6
+
+    def test_skip_layer_edge(self):
+        g = nx.DiGraph([(0, 1), (1, 2), (0, 2)])
+        emb = embed_graph(g)
+        # The skip edge must be routed and longer than a direct hop.
+        assert emb.length(0, 2) > 0
+        assert emb.length(0, 2) >= emb.length(0, 1)
+
+    def test_multigraph_parallel_edges(self):
+        g = nx.MultiDiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b")
+        emb = embed_graph(g)
+        assert (("a", "b", 0) in emb.edge_lengths) and (
+            ("a", "b", 1) in emb.edge_lengths
+        )
+
+    def test_self_loop_length_zero(self):
+        g = nx.MultiDiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "a")
+        emb = embed_graph(g)
+        assert emb.length("a", "a") == 0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EmbeddingError):
+            embed_graph(nx.DiGraph())
+
+    def test_missing_edge_query_raises(self):
+        emb = embed_graph(nx.DiGraph([(0, 1)]))
+        with pytest.raises(EmbeddingError):
+            emb.length(0, 99)
+
+
+class TestThompsonLegality:
+    """The grid itself enforces the occupancy rules, so a successful
+    embed proves legality; these tests exercise stressful shapes."""
+
+    def test_complete_bipartite(self):
+        g = nx.complete_bipartite_graph(4, 4)
+        emb = embed_graph(g)
+        assert len(emb.edge_lengths) == 16
+
+    def test_banyan_graph_embeds(self):
+        emb = embed_graph(banyan_graph(8))
+        # 8 ingress + 2 inter-stage columns of 8 + 8 egress edges.
+        assert len(emb.edge_lengths) == 8 * 4
+
+    def test_binary_tree(self):
+        g = nx.balanced_tree(2, 3, create_using=nx.DiGraph)
+        emb = embed_graph(g)
+        assert len(emb.edge_lengths) == g.number_of_edges()
+
+    def test_vertex_positions_recorded(self):
+        g = nx.DiGraph([(0, 1), (1, 2)])
+        emb = embed_graph(g)
+        assert set(emb.vertex_positions) == {0, 1, 2}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    extra=st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_random_dags_always_embed(n, extra, seed):
+    """Property: any connected DAG embeds legally; all edges measured."""
+    import random
+
+    rng = random.Random(seed)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for v in range(1, n):
+        g.add_edge(rng.randrange(v), v)  # random spanning tree
+    for _ in range(extra):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            g.add_edge(min(a, b), max(a, b))
+    emb = embed_graph(g)
+    assert set(emb.edge_lengths) == {(u, v, 0) for u, v in g.edges()}
+    assert all(length >= 1 for length in emb.edge_lengths.values())

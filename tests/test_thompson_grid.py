@@ -1,0 +1,100 @@
+"""Thompson grid occupancy rules."""
+
+import pytest
+
+from repro.errors import EmbeddingError
+from repro.thompson.grid import GridRect, ThompsonGrid
+
+
+class TestGridRect:
+    def test_dimensions(self):
+        r = GridRect(2, 3, 5, 4)
+        assert r.width == 4
+        assert r.height == 2
+        assert len(r.cells()) == 8
+
+    def test_contains(self):
+        r = GridRect(0, 0, 1, 1)
+        assert r.contains((1, 1))
+        assert not r.contains((2, 0))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(EmbeddingError):
+            GridRect(3, 0, 2, 0)
+
+
+class TestVertexPlacement:
+    def test_place_and_query(self):
+        grid = ThompsonGrid(10, 10)
+        grid.place_vertex("v", GridRect(1, 1, 2, 2))
+        assert grid.vertex_rect("v").width == 2
+        assert grid.vertex_count == 1
+
+    def test_overlap_rejected(self):
+        grid = ThompsonGrid(10, 10)
+        grid.place_vertex("a", GridRect(0, 0, 2, 2))
+        with pytest.raises(EmbeddingError):
+            grid.place_vertex("b", GridRect(2, 2, 3, 3))
+
+    def test_out_of_bounds_rejected(self):
+        grid = ThompsonGrid(4, 4)
+        with pytest.raises(EmbeddingError):
+            grid.place_vertex("a", GridRect(3, 3, 4, 4))
+
+    def test_duplicate_vertex_rejected(self):
+        grid = ThompsonGrid(10, 10)
+        grid.place_vertex("a", GridRect(0, 0, 0, 0))
+        with pytest.raises(EmbeddingError):
+            grid.place_vertex("a", GridRect(5, 5, 5, 5))
+
+    def test_unknown_vertex_query_raises(self):
+        with pytest.raises(EmbeddingError):
+            ThompsonGrid(4, 4).vertex_rect("ghost")
+
+
+class TestEdgeRouting:
+    def test_length_counts_grid_edges(self):
+        grid = ThompsonGrid(10, 10)
+        length = grid.route_edge("e", [(0, 0), (1, 0), (2, 0), (2, 1)])
+        assert length == 3
+        assert grid.edge_length("e") == 3
+
+    def test_non_adjacent_step_rejected(self):
+        grid = ThompsonGrid(10, 10)
+        with pytest.raises(EmbeddingError):
+            grid.route_edge("e", [(0, 0), (2, 0)])
+
+    def test_grid_edge_reuse_rejected(self):
+        """The Thompson rule: one routed edge per grid edge."""
+        grid = ThompsonGrid(10, 10)
+        grid.route_edge("e1", [(0, 0), (1, 0)])
+        with pytest.raises(EmbeddingError):
+            grid.route_edge("e2", [(1, 0), (0, 0)])
+
+    def test_crossing_at_a_point_is_legal(self):
+        """Perpendicular crossings share a vertex, not an edge."""
+        grid = ThompsonGrid(10, 10)
+        grid.route_edge("h", [(0, 1), (1, 1), (2, 1)])
+        grid.route_edge("v", [(1, 0), (1, 1), (1, 2)])
+        assert grid.edge_count == 2
+
+    def test_reroute_rejected(self):
+        grid = ThompsonGrid(10, 10)
+        grid.route_edge("e", [(0, 0), (1, 0)])
+        with pytest.raises(EmbeddingError):
+            grid.route_edge("e", [(5, 5), (6, 5)])
+
+    def test_total_wire_grids(self):
+        grid = ThompsonGrid(10, 10)
+        grid.route_edge("a", [(0, 0), (1, 0)])
+        grid.route_edge("b", [(0, 5), (1, 5), (2, 5)])
+        assert grid.total_wire_grids == 3
+
+    def test_path_too_short_rejected(self):
+        with pytest.raises(EmbeddingError):
+            ThompsonGrid(4, 4).route_edge("e", [(0, 0)])
+
+    def test_utilization(self):
+        grid = ThompsonGrid(4, 4)
+        grid.place_vertex("a", GridRect(0, 0, 1, 1))
+        assert grid.utilization() == pytest.approx(4 / 16)

@@ -1,0 +1,138 @@
+"""Manual fabric layouts must match the paper's wire-length equations."""
+
+import pytest
+
+from repro.core import analytical
+from repro.errors import ConfigurationError
+from repro.thompson.layouts import (
+    BanyanLayout,
+    BatcherBanyanLayout,
+    CrossbarLayout,
+    FullyConnectedLayout,
+    layout_for,
+)
+
+
+class TestCrossbarLayout:
+    @pytest.mark.parametrize("ports", [1, 4, 8, 16, 32])
+    def test_row_and_column_are_4n(self, ports):
+        layout = CrossbarLayout(ports)
+        assert layout.row_wire_grids(0) == 4 * ports
+        assert layout.column_wire_grids(ports - 1) == 4 * ports
+
+    def test_connection_is_8n(self):
+        layout = CrossbarLayout(8)
+        assert layout.connection_grids(2, 5) == 64  # Eq. 3's 8N
+
+    def test_port_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarLayout(4).row_wire_grids(4)
+
+    def test_bounding_box_square(self):
+        assert CrossbarLayout(8).bounding_box == (32, 32)
+
+
+class TestFullyConnectedLayout:
+    @pytest.mark.parametrize("ports", [4, 8, 16, 32])
+    def test_worst_case_half_n_squared(self, ports):
+        layout = FullyConnectedLayout(ports)
+        assert layout.worst_case_connection_grids == ports * ports // 2
+
+    def test_worst_case_mode_constant(self):
+        layout = FullyConnectedLayout(8)
+        assert layout.connection_grids(0, 0) == layout.connection_grids(7, 7) == 32
+
+    def test_per_link_mode_varies_with_distance(self):
+        layout = FullyConnectedLayout(16)
+        near = layout.connection_grids(0, 0, mode="per_link")
+        far = layout.connection_grids(0, 15, mode="per_link")
+        assert far > near
+
+    def test_per_link_bounded_by_worst_case(self):
+        layout = FullyConnectedLayout(16)
+        worst = layout.worst_case_connection_grids
+        for i in range(16):
+            for j in range(16):
+                assert layout.connection_grids(i, j, mode="per_link") <= worst
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FullyConnectedLayout(8).connection_grids(0, 0, mode="exact")
+
+
+class TestBanyanLayout:
+    def test_stage_cross_lengths_are_4_times_2i(self):
+        layout = BanyanLayout(16)
+        assert [layout.stage_cross_grids(i) for i in range(4)] == [4, 8, 16, 32]
+
+    def test_worst_case_path_matches_eq5(self):
+        for ports in (2, 4, 8, 16, 32, 64):
+            assert (
+                BanyanLayout(ports).worst_case_path_grids
+                == analytical.banyan_wire_grids(ports)
+            )
+
+    def test_per_link_mode(self):
+        layout = BanyanLayout(16)
+        assert layout.link_grids(3, crossed=False, mode="per_link") == 4
+        assert layout.link_grids(3, crossed=True, mode="per_link") == 32
+        # Worst-case mode charges the cross length regardless.
+        assert layout.link_grids(3, crossed=False, mode="worst_case") == 32
+
+    def test_stage_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            BanyanLayout(8).stage_cross_grids(3)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BanyanLayout(12)
+
+
+class TestBatcherBanyanLayout:
+    def test_substage_count(self):
+        assert BatcherBanyanLayout(16).sorter_substages == 10
+
+    def test_spans_follow_bitonic_schedule(self):
+        layout = BatcherBanyanLayout(16)
+        # Phase 2 has spans 4, 2, 1.
+        spans = [layout.sorter_substage_span(2, s) for s in range(3)]
+        assert spans == [4, 2, 1]
+
+    def test_worst_case_matches_eq6(self):
+        for ports in (4, 8, 16, 32):
+            layout = BatcherBanyanLayout(ports)
+            assert layout.worst_case_sorter_grids == analytical.batcher_wire_grids(
+                ports
+            )
+            assert (
+                layout.worst_case_path_grids
+                == analytical.batcher_wire_grids(ports)
+                + analytical.banyan_wire_grids(ports)
+            )
+
+    def test_phase_step_bounds(self):
+        layout = BatcherBanyanLayout(8)
+        with pytest.raises(ConfigurationError):
+            layout.sorter_substage_span(3, 0)
+        with pytest.raises(ConfigurationError):
+            layout.sorter_substage_span(1, 2)
+
+
+class TestLayoutFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("crossbar", CrossbarLayout),
+            ("fully_connected", FullyConnectedLayout),
+            ("banyan", BanyanLayout),
+            ("batcher_banyan", BatcherBanyanLayout),
+        ],
+    )
+    def test_dispatch(self, name, cls):
+        assert isinstance(layout_for(name, 8), cls)
+
+    def test_unknown_layout(self):
+        from repro.errors import EmbeddingError
+
+        with pytest.raises(EmbeddingError):
+            layout_for("clos", 8)

@@ -1,0 +1,66 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_energy_roundtrips():
+    assert units.fJ(87) == pytest.approx(87e-15)
+    assert units.pJ(140) == pytest.approx(140e-12)
+    assert units.nJ(1.5) == pytest.approx(1.5e-9)
+    assert units.to_fJ(units.fJ(87)) == pytest.approx(87)
+    assert units.to_pJ(units.pJ(222)) == pytest.approx(222)
+
+
+def test_pico_femto_consistency():
+    assert units.pJ(1) == pytest.approx(units.fJ(1000))
+
+
+def test_power_conversions():
+    assert units.mW(3) == pytest.approx(3e-3)
+    assert units.uW(5) == pytest.approx(5e-6)
+    assert units.to_mW(0.020) == pytest.approx(20.0)
+    assert units.to_uW(1e-6) == pytest.approx(1.0)
+
+
+def test_geometry_conversions():
+    assert units.um(32) == pytest.approx(32e-6)
+    assert units.nm(180) == pytest.approx(180e-9)
+    assert units.to_um(units.um(7)) == pytest.approx(7)
+
+
+def test_capacitance_conversions():
+    assert units.fF(16) == pytest.approx(16e-15)
+    assert units.pF(1) == pytest.approx(units.fF(1000))
+    assert units.to_fF(units.fF(2)) == pytest.approx(2)
+
+
+def test_frequency_and_rate():
+    assert units.MHz(133) == pytest.approx(133e6)
+    assert units.GHz(1) == pytest.approx(1e9)
+    assert units.Mbps(100) == pytest.approx(100e6)
+    assert units.Gbps(2.5) == pytest.approx(2.5e9)
+    assert units.ns(7.5) == pytest.approx(7.5e-9)
+    assert units.us(5.12) == pytest.approx(5.12e-6)
+
+
+def test_switching_energy_half_cv2():
+    # E = 1/2 C V^2: 16 fF at 3.3 V -> 87.1 fJ (the paper's E_T).
+    energy = units.switching_energy(units.fF(16), 3.3)
+    assert energy == pytest.approx(units.fJ(87.12), rel=1e-3)
+
+
+def test_bus_mask_values():
+    assert units.bus_mask(1) == 1
+    assert units.bus_mask(8) == 0xFF
+    assert units.bus_mask(32) == 0xFFFFFFFF
+    assert units.bus_mask(64) == (1 << 64) - 1
+
+
+@pytest.mark.parametrize("width", [0, -1, 65, 100])
+def test_bus_mask_rejects_bad_widths(width):
+    with pytest.raises(ValueError):
+        units.bus_mask(width)
