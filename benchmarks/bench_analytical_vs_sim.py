@@ -11,19 +11,24 @@ factor ~2 everywhere validates both sides.
 from __future__ import annotations
 
 from repro.analysis.report import format_table
-from repro.core.estimator import ARCHITECTURES, estimate_power
-from repro.sim.runner import run_simulation
+from repro.api import PowerModel, Scenario
+from repro.core.estimator import ARCHITECTURES
 
 
 def _compare():
+    # One cached session serves both backends: every fabric shares the
+    # same WireModel/LUT instances, built exactly once per tech node.
+    session = PowerModel()
     rows = []
     for arch in ARCHITECTURES:
         for ports in (8, 32):
-            sim = run_simulation(
-                arch, ports, load=0.3, arrival_slots=600, warmup_slots=120,
-                seed=404,
+            sim = session.simulate(
+                Scenario(arch, ports, 0.3, arrival_slots=600,
+                         warmup_slots=120, seed=404)
             )
-            est = estimate_power(arch, ports, sim.throughput)
+            est = session.estimate(
+                Scenario(arch, ports, sim.throughput, backend="estimate")
+            )
             rows.append(
                 (
                     arch,

@@ -10,7 +10,7 @@ Run:  python examples/architecture_comparison.py [ports]
 
 import sys
 
-from repro import ARCHITECTURES
+from repro import ARCHITECTURES, PowerModel
 from repro.analysis.report import format_table, sparkline
 from repro.analysis.sweeps import throughput_sweep
 from repro.units import to_mW
@@ -19,12 +19,15 @@ LOADS = [0.1, 0.2, 0.3, 0.4, 0.5]
 
 
 def main(ports: int = 8) -> None:
+    # One session: wire models and LUTs are built once and shared by
+    # all four sweeps; re-running a sweep would hit the series memo.
+    session = PowerModel()
     sweeps = {}
     for arch in ARCHITECTURES:
         print(f"sweeping {arch} ...")
         sweeps[arch] = throughput_sweep(
             arch, ports, loads=LOADS, arrival_slots=600, warmup_slots=120,
-            seed=7,
+            seed=7, session=session,
         )
 
     rows = []

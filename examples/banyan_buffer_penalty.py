@@ -10,8 +10,8 @@ crossbar overtakes it around 35-40% throughput.
 Run:  python examples/banyan_buffer_penalty.py
 """
 
+from repro import PowerModel, Scenario
 from repro.analysis.report import format_table
-from repro.sim.runner import run_simulation
 from repro.units import to_mW
 
 LOADS = [0.10, 0.20, 0.30, 0.40, 0.50]
@@ -19,17 +19,26 @@ PORTS = 32
 
 
 def main() -> None:
+    # Both load series as one parallel batch over a cached session.
+    session = PowerModel()
+    grid = Scenario.grid(
+        architectures=("banyan", "crossbar"),
+        ports=(PORTS,),
+        loads=LOADS,
+        arrival_slots=700,
+        warmup_slots=140,
+        seed=99,
+    )
+    records = {
+        (r.architecture, r.load): r.detail
+        for r in session.run_batch(grid, workers=4)
+    }
+
     rows = []
     crossover = None
     for load in LOADS:
-        banyan = run_simulation(
-            "banyan", PORTS, load=load, arrival_slots=700, warmup_slots=140,
-            seed=99,
-        )
-        crossbar = run_simulation(
-            "crossbar", PORTS, load=load, arrival_slots=700, warmup_slots=140,
-            seed=99,
-        )
+        banyan = records[("banyan", load)]
+        crossbar = records[("crossbar", load)]
         bufferings = banyan.counters.get("cells_buffered", 0)
         delivered = max(banyan.delivered_cells, 1)
         rows.append(

@@ -2,40 +2,51 @@
 """Quickstart: estimate and simulate switch-fabric power in ~20 lines.
 
 Builds a 16x16 crossbar router at 30% offered load, runs the
-bit-accurate simulator, and compares against the closed-form estimate.
+bit-accurate simulator, and compares against the closed-form estimate —
+first through the unified scenario/session API, then through the legacy
+one-call helpers (which are now shims over the same session, so the
+numbers match exactly).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import estimate_power, run_simulation
+from repro import PowerModel, Scenario, estimate_power, run_simulation
 from repro.units import to_mW
 
 
 def main() -> None:
-    # 1. Fast analytical estimate (Eq. 3 + Table 1, no simulation).
-    estimate = estimate_power("crossbar", ports=16, throughput=0.30)
+    # ------------------------------------------------------------------
+    # New API: one session, one scenario vocabulary, both backends.
+    # ------------------------------------------------------------------
+    session = PowerModel()
+    point = Scenario("crossbar", 16, 0.30, arrival_slots=1000,
+                     warmup_slots=200, seed=42)
+
+    fast = session.estimate(point)  # Eq. 3 + Table 1, no simulation
     print("Analytical estimate (crossbar 16x16 @ 30% throughput)")
-    print(f"  E_bit          : {estimate.bit_energy_j * 1e12:.2f} pJ/bit")
-    print(f"  power          : {to_mW(estimate.total_power_w):.3f} mW")
-    print(f"  dominant part  : {estimate.dominant_component}")
+    print(f"  E_bit          : {fast.energy_per_bit_j * 1e12:.2f} pJ/bit")
+    print(f"  power          : {to_mW(fast.total_power_w):.3f} mW")
+    print(f"  dominant part  : {fast.detail.dominant_component}")
     print()
 
-    # 2. Bit-accurate simulation: real payload bits, per-wire polarity
-    #    tracking, FCFS round-robin arbitration, input queueing.
-    result = run_simulation(
-        "crossbar",
-        ports=16,
-        load=0.30,
-        arrival_slots=1000,
-        warmup_slots=200,
-        seed=42,
-    )
+    slow = session.simulate(point)  # real payload bits, per-wire tracking
     print("Bit-level simulation")
-    print(result.summary())
+    print(slow.detail.summary())
     print()
 
-    ratio = result.total_power_w / estimate.total_power_w
+    ratio = slow.total_power_w / fast.total_power_w
     print(f"simulation / estimate power ratio: {ratio:.2f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Legacy API: same physics, same numbers, per-call vocabulary.
+    # ------------------------------------------------------------------
+    estimate = estimate_power("crossbar", ports=16, throughput=0.30)
+    result = run_simulation("crossbar", ports=16, load=0.30,
+                            arrival_slots=1000, warmup_slots=200, seed=42)
+    assert estimate == fast.detail
+    assert result == slow.detail
+    print("legacy estimate_power / run_simulation agree bit-for-bit")
 
 
 if __name__ == "__main__":

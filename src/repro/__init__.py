@@ -8,18 +8,31 @@ A faithful, full-system reproduction of:
 
 Quick start
 -----------
+The unified experiment API (canonical since the :mod:`repro.api`
+redesign):
+
 >>> import repro
->>> result = repro.run_simulation("crossbar", ports=8, load=0.3,
-...                               arrival_slots=300, warmup_slots=50)
->>> print(result.summary())  # doctest: +SKIP
+>>> session = repro.PowerModel()
+>>> record = session.simulate(repro.Scenario("crossbar", 8, 0.3,
+...                                          arrival_slots=300,
+...                                          warmup_slots=50))
+>>> print(record.detail.summary())  # doctest: +SKIP
 
 Analytical fast path (no simulation):
 
->>> est = repro.estimate_power("banyan", ports=32, throughput=0.3)
+>>> est = session.estimate(repro.Scenario("banyan", 32, 0.3))
 >>> est.total_power_w  # doctest: +SKIP
+
+The legacy one-call helpers remain as shims over a shared session:
+
+>>> result = repro.run_simulation("crossbar", ports=8, load=0.3,
+...                               arrival_slots=300, warmup_slots=50)
+>>> est = repro.estimate_power("banyan", ports=32, throughput=0.3)
 
 Package map
 -----------
+- :mod:`repro.api` — scenarios, cached sessions, batch execution,
+  the unified result schema (the public experiment surface).
 - :mod:`repro.core` — the bit-energy model (the paper's contribution).
 - :mod:`repro.tech` — technology nodes and the wire model.
 - :mod:`repro.thompson` — Thompson grid wire-length estimation.
@@ -45,6 +58,17 @@ from repro.sim.runner import build_router, run_simulation
 from repro.sim.results import SimulationResult
 from repro.fabrics.factory import build_fabric, default_models
 from repro.tech import TECH_130NM, TECH_180NM, TECH_250NM, Technology
+from repro.wire_modes import WireMode
+from repro.api import (
+    PowerModel,
+    RunRecord,
+    Scenario,
+    default_session,
+    load_scenarios,
+    preset,
+    preset_scenarios,
+    run_batch,
+)
 
 __all__ = [
     "__version__",
@@ -63,4 +87,13 @@ __all__ = [
     "TECH_130NM",
     "TECH_180NM",
     "TECH_250NM",
+    "WireMode",
+    "Scenario",
+    "PowerModel",
+    "RunRecord",
+    "default_session",
+    "run_batch",
+    "load_scenarios",
+    "preset",
+    "preset_scenarios",
 ]

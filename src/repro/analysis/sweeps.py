@@ -4,10 +4,18 @@ The paper's evaluation sweeps two axes: traffic throughput (10-50%,
 measured at egress) and port count (4/8/16/32).  These helpers run the
 dynamic simulator across those grids and collect (throughput, power)
 series per architecture, the exact data behind the figures.
+
+Both harnesses execute through a :class:`repro.api.PowerModel` session
+(the shared default one unless a ``session`` is passed), which caches
+energy models per technology *and* memoises whole sweep series per
+(architecture, ports, grid) — so :func:`port_sweep` never re-simulates a
+load grid it (or an earlier :func:`throughput_sweep` call on the same
+session) has already run.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -15,7 +23,6 @@ import numpy as np
 from repro.core.estimator import ARCHITECTURES, canonical_architecture
 from repro.errors import ConfigurationError
 from repro.sim.results import SimulationResult
-from repro.sim.runner import run_simulation
 from repro.tech import TECH_180NM, Technology
 
 
@@ -100,6 +107,50 @@ class PortSweepResult:
         return (b - a) / b
 
 
+def _cacheable_value(value) -> bool:
+    """Whether a runner kwarg can participate in a sweep memo key.
+
+    Only immutable *value-hashed* types qualify.  A bare ``hash()``
+    check is not enough: live objects (e.g. a stateful traffic
+    generator) hash by identity, so memoising on them would replay a
+    stale series instead of re-running the generator.
+    """
+    if value is None or isinstance(
+        value, (str, int, float, bool, enum.Enum, Technology)
+    ):
+        return True
+    if isinstance(value, (tuple, frozenset)):
+        return all(_cacheable_value(v) for v in value)
+    return False
+
+
+def _sweep_cache_key(
+    arch: str,
+    ports: int,
+    loads: list[float],
+    arrival_slots: int,
+    warmup_slots: int,
+    seed: int,
+    tech: Technology,
+    runner_kwargs: dict,
+):
+    """Memo key for one sweep series, or None when kwargs are uncacheable
+    (e.g. a live traffic generator object)."""
+    if not all(_cacheable_value(v) for v in runner_kwargs.values()):
+        return None
+    return (
+        "throughput_sweep",
+        arch,
+        ports,
+        tuple(loads),
+        arrival_slots,
+        warmup_slots,
+        seed,
+        tech,
+        tuple(sorted(runner_kwargs.items())),
+    )
+
+
 def throughput_sweep(
     architecture: str,
     ports: int,
@@ -108,30 +159,51 @@ def throughput_sweep(
     warmup_slots: int = 200,
     seed: int = 12345,
     tech: Technology = TECH_180NM,
+    session=None,
     **runner_kwargs,
 ) -> ThroughputSweepResult:
     """Run one architecture across offered loads; collect the series.
 
     ``loads`` defaults to a grid covering the paper's 10-50% egress
-    range with headroom for saturation effects.
+    range with headroom for saturation effects.  Identical sweeps on
+    the same ``session`` (default: the shared one) are served from its
+    memo instead of re-simulating.
     """
+    from repro.api.model import default_session
+
     arch = canonical_architecture(architecture)
     if loads is None:
         loads = [0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55]
-    result = ThroughputSweepResult(architecture=arch, ports=ports)
-    for load in loads:
-        sim = run_simulation(
-            arch,
-            ports,
-            load=load,
-            arrival_slots=arrival_slots,
-            warmup_slots=warmup_slots,
-            seed=seed,
-            tech=tech,
-            **runner_kwargs,
-        )
-        result.points.append(SweepPoint.from_result(sim))
-    return result
+    if session is None:
+        session = default_session()
+    key = _sweep_cache_key(
+        arch, ports, loads, arrival_slots, warmup_slots, seed, tech,
+        runner_kwargs,
+    )
+    cached = session.sweep_cache.get(key) if key is not None else None
+    if cached is None:
+        cached = ThroughputSweepResult(architecture=arch, ports=ports)
+        for load in loads:
+            sim = session.simulation(
+                arch,
+                ports,
+                load=load,
+                arrival_slots=arrival_slots,
+                warmup_slots=warmup_slots,
+                seed=seed,
+                tech=tech,
+                **runner_kwargs,
+            )
+            cached.points.append(SweepPoint.from_result(sim))
+        if key is not None:
+            session.sweep_cache[key] = cached
+    # Hand back a fresh container so callers mutating .points cannot
+    # corrupt the memo.
+    return ThroughputSweepResult(
+        architecture=cached.architecture,
+        ports=cached.ports,
+        points=list(cached.points),
+    )
 
 
 def port_sweep(
@@ -142,6 +214,7 @@ def port_sweep(
     warmup_slots: int = 200,
     seed: int = 12345,
     tech: Technology = TECH_180NM,
+    session=None,
     **runner_kwargs,
 ) -> PortSweepResult:
     """Fig. 10 harness: power of each architecture vs port count.
@@ -151,9 +224,17 @@ def port_sweep(
     saturate below the target report their power at saturation (the
     closest physically achievable point), mirroring how a measured
     curve would be read off.
+
+    All load grids run through one session, so repeated
+    (architecture, ports) pairs — across calls or against earlier
+    :func:`throughput_sweep` runs with the same grid — simulate once.
     """
+    from repro.api.model import default_session
+
     if ports_list is None:
         ports_list = [4, 8, 16, 32]
+    if session is None:
+        session = default_session()
     power: dict[str, dict[int, float]] = {}
     for arch in architectures:
         arch = canonical_architecture(arch)
@@ -166,6 +247,7 @@ def port_sweep(
                 warmup_slots=warmup_slots,
                 seed=seed,
                 tech=tech,
+                session=session,
                 **runner_kwargs,
             )
             if sweep.max_throughput >= throughput:

@@ -5,8 +5,15 @@ Commands
 ``estimate``   closed-form power estimate (Eq. 3-6 + Tables 1-2).
 ``simulate``   bit-accurate simulation of one operating point.
 ``sweep``      Fig. 9-style throughput sweep for one architecture.
+``batch``      run a JSON file of scenarios (mixed backends) in parallel.
 ``table1``     regenerate Table 1 via gate-level characterisation.
 ``table2``     regenerate Table 2 via the SRAM model.
+
+``estimate``/``simulate``/``sweep`` are thin wrappers over the
+:mod:`repro.api` session layer; ``batch`` is its native front end.  All
+commands share one :class:`~repro.wire_modes.WireMode` vocabulary for
+``--wire-mode`` (``worst_case``/``expected``/``per_link``), translated
+per backend.
 
 Examples
 --------
@@ -15,6 +22,7 @@ Examples
     python -m repro estimate --arch banyan --ports 32 --throughput 0.3
     python -m repro simulate --arch crossbar --ports 16 --load 0.4 --slots 2000
     python -m repro sweep --arch batcher_banyan --ports 8
+    python -m repro batch examples/scenarios.json --workers 4
     python -m repro table2
 """
 
@@ -25,9 +33,14 @@ import sys
 
 from repro.analysis.report import format_table
 from repro.core import tables
-from repro.core.estimator import ARCHITECTURES, estimate_power
-from repro.sim.runner import run_simulation
+from repro.core.estimator import ARCHITECTURES
+from repro.errors import ConfigurationError, ReproError
+from repro.tech.presets import PRESETS as TECH_PRESETS
 from repro.units import to_mW, to_pJ
+from repro.wire_modes import WireMode
+
+#: All unified wire-mode spellings, for argparse choices.
+WIRE_MODE_CHOICES = tuple(m.value for m in WireMode)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -37,6 +50,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help=f"architecture: one of {', '.join(ARCHITECTURES)} (or aliases)",
     )
     parser.add_argument("--ports", type=int, default=16, help="port count")
+    parser.add_argument(
+        "--tech",
+        default="0.18um",
+        choices=sorted(TECH_PRESETS),
+        help="technology node preset",
+    )
+    parser.add_argument(
+        "--wire-mode",
+        choices=WIRE_MODE_CHOICES,
+        default="worst_case",
+        help="wire-length accounting (expected/per_link are the "
+        "average-path accounting, translated per backend)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,9 +82,6 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--slots", type=int, default=1000, help="arrival slots")
     sim.add_argument("--warmup", type=int, default=200)
     sim.add_argument("--seed", type=int, default=12345)
-    sim.add_argument(
-        "--wire-mode", choices=("worst_case", "per_link"), default="worst_case"
-    )
 
     sweep = sub.add_parser("sweep", help="throughput sweep (Fig. 9 style)")
     _add_common(sweep)
@@ -71,6 +94,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.1, 0.2, 0.3, 0.4, 0.5],
     )
 
+    batch = sub.add_parser(
+        "batch", help="run a scenarios JSON file through the batch API"
+    )
+    batch.add_argument(
+        "scenarios",
+        help='JSON file: an array of scenario objects (or {"scenarios": [...]})',
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1, help="thread-pool width"
+    )
+    batch.add_argument(
+        "--format",
+        choices=("json", "csv", "table"),
+        default="json",
+        help="report format written to stdout (or --output)",
+    )
+    batch.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file instead of stdout "
+        "(a one-line summary still prints)",
+    )
+
     t1 = sub.add_parser("table1", help="regenerate Table 1 (gate level)")
     t1.add_argument("--cycles", type=int, default=192)
 
@@ -79,7 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_estimate(args) -> int:
-    est = estimate_power(args.arch, args.ports, args.throughput)
+    from repro.api import Scenario, default_session
+
+    scenario = Scenario(
+        architecture=args.arch,
+        ports=args.ports,
+        load=args.throughput,
+        backend="estimate",
+        tech=args.tech,
+        wire_mode=args.wire_mode,
+    )
+    est = default_session().estimate(scenario).detail
     print(f"{est.architecture} {est.ports}x{est.ports} "
           f"@ {est.throughput:.0%} throughput")
     print(f"  E_bit   : {to_pJ(est.bit_energy_j):.2f} pJ/bit "
@@ -92,21 +148,27 @@ def cmd_estimate(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    result = run_simulation(
-        args.arch,
-        args.ports,
+    from repro.api import Scenario, default_session
+
+    scenario = Scenario(
+        architecture=args.arch,
+        ports=args.ports,
         load=args.load,
+        backend="simulate",
+        tech=args.tech,
+        wire_mode=args.wire_mode,
         arrival_slots=args.slots,
         warmup_slots=args.warmup,
         seed=args.seed,
-        wire_mode=args.wire_mode,
     )
+    result = default_session().simulate(scenario).detail
     print(result.summary())
     return 0
 
 
 def cmd_sweep(args) -> int:
     from repro.analysis.sweeps import throughput_sweep
+    from repro.tech.presets import get_technology
 
     sweep = throughput_sweep(
         args.arch,
@@ -115,6 +177,8 @@ def cmd_sweep(args) -> int:
         arrival_slots=args.slots,
         warmup_slots=args.slots // 5,
         seed=args.seed,
+        tech=get_technology(args.tech),
+        wire_mode=WireMode.parse(args.wire_mode).simulated,
     )
     rows = [
         [f"{p.offered_load:.2f}", f"{p.throughput:.3f}",
@@ -131,6 +195,44 @@ def cmd_sweep(args) -> int:
             title=f"{sweep.architecture} {args.ports}x{args.ports}",
         )
     )
+    return 0
+
+
+def cmd_batch(args) -> int:
+    from pathlib import Path
+
+    from repro.api import (
+        default_session,
+        load_scenarios,
+        records_to_csv,
+        records_to_json,
+        summary_rows,
+    )
+
+    try:
+        text = Path(args.scenarios).read_text()
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read scenario file {args.scenarios!r}: {exc}"
+        ) from exc
+    scenarios = load_scenarios(text)
+    records = default_session().run_batch(scenarios, workers=args.workers)
+
+    if args.format == "json":
+        report = records_to_json(records)
+    elif args.format == "csv":
+        report = records_to_csv(records)
+    else:
+        report = format_table(
+            ["scenario", "backend", "throughput", "total mW", "pJ/bit", "s"],
+            summary_rows(records),
+            title=f"batch: {len(records)} scenarios",
+        )
+    if args.output:
+        Path(args.output).write_text(report + "\n")
+        print(f"{len(records)} scenarios -> {args.output}")
+    else:
+        print(report)
     return 0
 
 
@@ -181,15 +283,25 @@ _COMMANDS = {
     "estimate": cmd_estimate,
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
+    "batch": cmd_batch,
     "table1": cmd_table1,
     "table2": cmd_table2,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Library configuration errors print as one ``error:`` line (exit 2)
+    instead of a traceback — scenario-file typos and bad parameter
+    combinations are user errors, not crashes.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -39,6 +39,7 @@ from repro.core.bit_energy import (
 from repro.errors import ConfigurationError
 from repro.tech import TECH_180NM, Technology
 from repro.tech.wires import WireModel
+from repro.wire_modes import ANALYTICAL_MODES, WireMode
 
 #: Canonical architecture names accepted throughout the library.
 ARCHITECTURES = ("crossbar", "fully_connected", "banyan", "batcher_banyan")
@@ -129,7 +130,7 @@ def _mixed_2x2_energy_per_bit(
     return (1.0 - other_input_load) * single + other_input_load * dual
 
 
-def estimate_power(
+def compute_estimate(
     architecture: str,
     ports: int,
     throughput: float,
@@ -139,8 +140,13 @@ def estimate_power(
     buffer_model: BufferEnergyModel | None = None,
     switch_lut: SwitchEnergyLUT | None = None,
     sorting_lut: SwitchEnergyLUT | None = None,
+    wire_model: WireModel | None = None,
 ) -> AnalyticalPowerEstimate:
-    """Analytically estimate switch-fabric power at a given throughput.
+    """The closed-form physics behind :func:`estimate_power`.
+
+    All component models are injectable so callers holding cached
+    instances (:class:`repro.api.PowerModel`) never rebuild them; any
+    left as ``None`` is constructed from the paper defaults.
 
     Parameters
     ----------
@@ -159,7 +165,10 @@ def estimate_power(
     wire_mode:
         ``"worst_case"`` charges the Eq. 5/6 longest-wire lengths for
         every bit; ``"expected"`` charges banyan-style stages the mean
-        of the straight (4-grid) and cross (4*2^i-grid) paths.
+        of the straight (4-grid) and cross (4*2^i-grid) paths.  (This
+        is the analytical-backend vocabulary; use
+        :class:`repro.wire_modes.WireMode` to translate the unified
+        spellings.)
     buffer_model:
         Banyan buffer energy; defaults to the Table 2 SRAM model for
         ``ports`` (interpolating via :class:`repro.memmodel` is the
@@ -167,16 +176,19 @@ def estimate_power(
     switch_lut / sorting_lut:
         Override the Table 1 LUTs (e.g. with gatesim-characterised
         ones).
+    wire_model:
+        Reuse an existing :class:`WireModel` for ``tech``.
     """
     arch = canonical_architecture(architecture)
     if not 0.0 <= throughput <= 1.0:
         raise ConfigurationError("throughput must be in [0, 1]")
     if not 0.0 <= flip_fraction <= 1.0:
         raise ConfigurationError("flip_fraction must be in [0, 1]")
-    if wire_mode not in ("worst_case", "expected"):
-        raise ConfigurationError("wire_mode must be 'worst_case' or 'expected'")
+    if wire_mode not in ANALYTICAL_MODES:
+        wire_mode = WireMode.parse(wire_mode).analytical
 
-    wire_model = WireModel(tech)
+    if wire_model is None:
+        wire_model = WireModel(tech)
     e_t = wire_model.grid_flip_energy_j
     delivered_bps = ports * throughput * tech.line_rate_bps
 
@@ -195,7 +207,7 @@ def estimate_power(
     elif arch == "banyan":
         lut = switch_lut or SwitchEnergyLUT.banyan_binary()
         if buffer_model is None:
-            buffer_model = _default_banyan_buffer(ports)
+            buffer_model = default_estimator_buffer(ports)
         loads = contention.banyan_stage_loads(ports, throughput)
         n = contention.stages(ports)
         for k in range(n):
@@ -234,6 +246,44 @@ def estimate_power(
     )
 
 
+def estimate_power(
+    architecture: str,
+    ports: int,
+    throughput: float,
+    tech: Technology = TECH_180NM,
+    flip_fraction: float = 0.5,
+    wire_mode: str = "worst_case",
+    buffer_model: BufferEnergyModel | None = None,
+    switch_lut: SwitchEnergyLUT | None = None,
+    sorting_lut: SwitchEnergyLUT | None = None,
+) -> AnalyticalPowerEstimate:
+    """Analytically estimate switch-fabric power at a given throughput.
+
+    Compatibility shim: delegates to the shared
+    :class:`repro.api.PowerModel` session, so repeated calls (sweep
+    loops) reuse cached ``WireModel``/LUT/buffer instances instead of
+    rebuilding them.  New code should use
+    :meth:`repro.api.PowerModel.estimate` with a
+    :class:`repro.api.Scenario`; the numbers are identical.  See
+    :func:`compute_estimate` for the parameter semantics (``wire_mode``
+    additionally accepts the unified :class:`repro.wire_modes.WireMode`
+    spellings).
+    """
+    from repro.api.model import default_session
+
+    return default_session().analytical(
+        architecture,
+        ports,
+        throughput,
+        tech=tech,
+        flip_fraction=flip_fraction,
+        wire_mode=wire_mode,
+        buffer_model=buffer_model,
+        switch_lut=switch_lut,
+        sorting_lut=sorting_lut,
+    )
+
+
 def _banyan_wire_grids(ports: int, wire_mode: str) -> float:
     """Banyan end-to-end wire grids under the chosen accounting mode."""
     worst = banyan_wire_grids(ports)
@@ -252,7 +302,7 @@ def _expected_grid_floor(ports: int) -> float:
     return 4.0 * stages_total
 
 
-def _default_banyan_buffer(ports: int) -> BufferEnergyModel:
+def default_estimator_buffer(ports: int) -> BufferEnergyModel:
     """Table 2 buffer model, falling back to the nearest table entry."""
     if ports in tables.BANYAN_BUFFER_ENERGY_BY_PORTS:
         return BufferEnergyModel.from_table2(ports)

@@ -21,6 +21,7 @@ from repro.router.cells import Cell, CellFormat
 from repro.sim import ledger as ledger_categories
 from repro.sim.ledger import EnergyLedger
 from repro.sim.tracer import WireTracer
+from repro.wire_modes import WireMode
 
 
 class SwitchFabric(ABC):
@@ -37,6 +38,8 @@ class SwitchFabric(ABC):
     wire_mode:
         ``"worst_case"`` (paper Eq. 3-6 lengths, default) or
         ``"per_link"`` (straight links pay only the inter-stage pitch).
+        Any :class:`repro.wire_modes.WireMode` spelling is accepted and
+        normalised to the simulated-backend vocabulary.
     """
 
     #: Canonical architecture name; subclasses override.
@@ -51,14 +54,10 @@ class SwitchFabric(ABC):
     ) -> None:
         if ports < 2:
             raise ConfigurationError("a fabric needs at least 2 ports")
-        if wire_mode not in ("worst_case", "per_link"):
-            raise ConfigurationError(
-                f"wire_mode must be 'worst_case' or 'per_link', got {wire_mode!r}"
-            )
         self.ports = ports
         self.models = models
         self.cell_format = cell_format or CellFormat()
-        self.wire_mode = wire_mode
+        self.wire_mode = WireMode.parse(wire_mode).simulated
         self.ledger = EnergyLedger()
         self.tracer = WireTracer(self.cell_format.bus_width)
         #: Wall-clock duration of one slot; set via :meth:`configure_timing`.

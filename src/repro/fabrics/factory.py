@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.bit_energy import (
+    BufferEnergyModel,
     EnergyModelSet,
     MuxEnergyLUT,
     SwitchEnergyLUT,
@@ -22,6 +23,11 @@ def default_models(
     buffer_memory: str = "sram",
     buffer_bits_per_switch: int | None = None,
     buffer_charge_granularity: str = "word",
+    *,
+    wire_model: WireModel | None = None,
+    switch_lut: SwitchEnergyLUT | None = None,
+    sorting_lut: SwitchEnergyLUT | None = None,
+    buffer: BufferEnergyModel | None = None,
 ) -> EnergyModelSet:
     """The paper's Table 1/Table 2 energy models for one architecture.
 
@@ -35,20 +41,26 @@ def default_models(
     buffer_charge_granularity: ``"word"`` (default) or ``"bit"`` — how
         the Table 2 figure is charged per buffered cell (see
         :class:`repro.core.bit_energy.BufferEnergyModel`).
+    wire_model / switch_lut / sorting_lut / buffer:
+        Prebuilt components to reuse (e.g. from a
+        :class:`repro.api.PowerModel` session cache); any left as
+        ``None`` is constructed from the paper defaults.
     """
     arch = canonical_architecture(architecture)
-    wire = WireModel(tech)
+    wire = wire_model if wire_model is not None else WireModel(tech)
     if arch == "crossbar":
         return EnergyModelSet(
-            switch=SwitchEnergyLUT.crossbar_crosspoint(), wire=wire
+            switch=switch_lut or SwitchEnergyLUT.crossbar_crosspoint(),
+            wire=wire,
         )
     if arch == "fully_connected":
-        return EnergyModelSet(switch=MuxEnergyLUT(ports), wire=wire)
+        return EnergyModelSet(switch=switch_lut or MuxEnergyLUT(ports), wire=wire)
     if arch == "banyan":
         return EnergyModelSet(
-            switch=SwitchEnergyLUT.banyan_binary(),
+            switch=switch_lut or SwitchEnergyLUT.banyan_binary(),
             wire=wire,
-            buffer=banyan_buffer_model(
+            buffer=buffer
+            or banyan_buffer_model(
                 ports,
                 memory=buffer_memory,
                 buffer_bits_per_switch=buffer_bits_per_switch,
@@ -57,9 +69,9 @@ def default_models(
         )
     if arch == "batcher_banyan":
         return EnergyModelSet(
-            switch=SwitchEnergyLUT.banyan_binary(),
+            switch=switch_lut or SwitchEnergyLUT.banyan_binary(),
             wire=wire,
-            sorting_switch=SwitchEnergyLUT.batcher_sorting(),
+            sorting_switch=sorting_lut or SwitchEnergyLUT.batcher_sorting(),
         )
     raise ConfigurationError(f"unknown architecture {architecture!r}")
 

@@ -4,9 +4,12 @@
 >>> result = run_simulation("banyan", ports=16, load=0.3, arrival_slots=500)
 >>> result.throughput  # doctest: +SKIP
 
-This is the entry point the benches, examples and most tests use; it
-assembles traffic, fabric and router with paper defaults and runs the
-engine.
+``run_simulation`` is a compatibility shim over the shared
+:class:`repro.api.PowerModel` session (new code should prefer
+``PowerModel.simulate`` with a :class:`repro.api.Scenario`); it keeps
+the historical signature while reusing the session's cached energy
+models.  :func:`build_router` remains the assembly helper both paths
+share.
 """
 
 from __future__ import annotations
@@ -16,7 +19,6 @@ from repro.fabrics.factory import build_fabric
 from repro.router.cells import CellFormat
 from repro.router.router import NetworkRouter
 from repro.router.traffic import BernoulliUniformTraffic, TrafficGenerator
-from repro.sim.engine import SimulationEngine
 from repro.sim.results import SimulationResult
 from repro.tech import TECH_180NM, Technology
 
@@ -76,6 +78,11 @@ def run_simulation(
 ) -> SimulationResult:
     """Build a router, run it, return the measurements.
 
+    Compatibility shim: delegates to the shared
+    :class:`repro.api.PowerModel` session so repeated calls (sweeps,
+    benches) reuse cached wire/switch/buffer models.  Results are
+    identical to constructing the router directly.
+
     Parameters
     ----------
     architecture: fabric name ("crossbar", "fully_connected", "banyan",
@@ -88,6 +95,16 @@ def run_simulation(
     router_kwargs: forwarded to :func:`build_router` (e.g. ``wire_mode``,
         ``traffic``, ``buffer_memory``, ``cell_format``).
     """
-    router = build_router(architecture, ports, load=load, tech=tech, **router_kwargs)
-    engine = SimulationEngine(router, seed=seed)
-    return engine.run(arrival_slots, warmup_slots=warmup_slots, drain=drain)
+    from repro.api.model import default_session
+
+    return default_session().simulation(
+        architecture,
+        ports,
+        load=load,
+        arrival_slots=arrival_slots,
+        warmup_slots=warmup_slots,
+        seed=seed,
+        tech=tech,
+        drain=drain,
+        **router_kwargs,
+    )

@@ -1,12 +1,16 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain helper functions (``make_cell`` and friends) live in
+:mod:`helpers` (``tests/helpers.py``) — import them from there, never
+from ``conftest``: the name ``conftest`` is ambiguous between this file
+and ``benchmarks/conftest.py`` at collection time.
+"""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core.bit_energy import EnergyModelSet, SwitchEnergyLUT
-from repro.router.cells import Cell, CellFormat
+from repro.router.cells import CellFormat
 from repro.tech import TECH_180NM
 from repro.tech.wires import WireModel
 
@@ -26,43 +30,3 @@ def wire_model(tech):
 def cell_format():
     """Paper default: 32-bit bus, 16 words (512-bit cells)."""
     return CellFormat(bus_width=32, words=16)
-
-
-def make_cell(
-    fmt: CellFormat,
-    dest: int,
-    src: int = 0,
-    packet_id: int = 0,
-    words: np.ndarray | None = None,
-    created_slot: int = 0,
-) -> Cell:
-    """Build a single-cell packet's cell with controllable words.
-
-    When ``words`` is None the payload is all zeros with the standard
-    header in word 0.
-    """
-    if words is None:
-        words = np.zeros(fmt.words, dtype=np.uint64)
-        words[0] = np.uint64(fmt.header_word(dest, 0, packet_id))
-    words = np.asarray(words, dtype=np.uint64)
-    assert words.size == fmt.words
-    return Cell(
-        packet_id=packet_id,
-        cell_index=0,
-        cell_count=1,
-        src_port=src,
-        dest_port=dest,
-        words=words,
-        payload_bits=fmt.payload_bits_per_cell,
-        created_slot=created_slot,
-    )
-
-
-def constant_word_cell(fmt: CellFormat, dest: int, word: int, **kwargs) -> Cell:
-    """Cell whose words are all equal to ``word`` (zero intra-cell flips)."""
-    words = np.full(fmt.words, word, dtype=np.uint64)
-    return make_cell(fmt, dest, words=words, **kwargs)
-
-
-def popcount(x: int) -> int:
-    return bin(x).count("1")

@@ -1,0 +1,241 @@
+"""Scenario validation, serialisation, presets and grid expansion."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    PRESET_SCENARIOS,
+    Scenario,
+    load_scenarios,
+    preset,
+    preset_scenarios,
+)
+from repro.errors import ConfigurationError
+from repro.router.traffic import (
+    BernoulliUniformTraffic,
+    BurstyTraffic,
+    HotspotTraffic,
+    PermutationTraffic,
+    TrimodalPacketTraffic,
+)
+from repro.tech import TECH_180NM
+from repro.wire_modes import WireMode
+
+
+class TestValidation:
+    def test_minimal_construction(self):
+        s = Scenario("crossbar", 8, 0.3)
+        assert s.architecture == "crossbar"
+        assert s.backend == "simulate"
+        assert s.wire_mode is WireMode.WORST_CASE
+
+    def test_architecture_aliases_canonicalised(self):
+        assert Scenario("xbar", 8, 0.3).architecture == "crossbar"
+        assert Scenario("batcher", 8, 0.3).architecture == "batcher_banyan"
+
+    def test_wire_mode_string_parsed(self):
+        s = Scenario("banyan", 8, 0.3, wire_mode="per-link")
+        assert s.wire_mode is WireMode.PER_LINK
+
+    def test_bad_backend(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            Scenario("crossbar", 8, 0.3, backend="guess")
+
+    def test_bad_load(self):
+        with pytest.raises(ConfigurationError, match="load"):
+            Scenario("crossbar", 8, 1.5)
+
+    def test_bad_ports(self):
+        with pytest.raises(ConfigurationError):
+            Scenario("crossbar", 1, 0.3)
+
+    def test_bad_traffic_kind(self):
+        with pytest.raises(ConfigurationError, match="traffic"):
+            Scenario("crossbar", 8, 0.3, traffic="adversarial")
+
+    def test_non_bernoulli_traffic_rejected_for_estimate_backend(self):
+        with pytest.raises(ConfigurationError, match="simulate-only"):
+            Scenario("banyan", 8, 0.3, backend="estimate", traffic="hotspot")
+
+    def test_bad_tech_preset(self):
+        with pytest.raises(ConfigurationError, match="unknown technology"):
+            Scenario("crossbar", 8, 0.3, tech="7nm")
+
+    def test_bad_wire_mode_lists_backends(self):
+        with pytest.raises(ConfigurationError) as exc:
+            Scenario("crossbar", 8, 0.3, wire_mode="median")
+        message = str(exc.value)
+        assert "worst_case" in message
+        assert "expected" in message and "per_link" in message
+        assert "analytical" in message and "simulated" in message
+
+    def test_scenarios_are_hashable_and_frozen(self):
+        s = Scenario("crossbar", 8, 0.3)
+        assert hash(s) == hash(Scenario("crossbar", 8, 0.3))
+        with pytest.raises(AttributeError):
+            s.ports = 16
+
+    def test_replace_revalidates(self):
+        s = Scenario("crossbar", 8, 0.3)
+        assert s.replace(load=0.5).load == 0.5
+        with pytest.raises(ConfigurationError):
+            s.replace(load=2.0)
+
+
+class TestSerialisation:
+    def test_json_round_trip_defaults(self):
+        s = Scenario("banyan", 16, 0.4, backend="estimate", name="p")
+        assert Scenario.from_json(s.to_json()) == s
+
+    def test_json_round_trip_traffic_params(self):
+        s = Scenario(
+            "crossbar", 8, 0.3,
+            traffic="hotspot",
+            traffic_params={"hotspot_fraction": 0.7, "hotspot_port": 2},
+        )
+        back = Scenario.from_dict(json.loads(s.to_json()))
+        assert back == s
+        assert dict(back.traffic_params)["hotspot_fraction"] == 0.7
+
+    def test_json_round_trip_preset_tech_stays_a_name(self):
+        s = Scenario("crossbar", 8, 0.3, tech=TECH_180NM)
+        assert s.to_dict()["tech"] == "0.18um"
+        assert Scenario.from_dict(s.to_dict()).technology == TECH_180NM
+
+    def test_json_round_trip_custom_tech_by_value(self):
+        custom = TECH_180NM.scaled(voltage_v=1.8)
+        s = Scenario("crossbar", 8, 0.3, tech=custom)
+        data = json.loads(s.to_json())
+        assert data["tech"]["voltage_v"] == 1.8
+        assert Scenario.from_json(s.to_json()).technology == custom
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="throughputt"):
+            Scenario.from_dict(
+                {"architecture": "crossbar", "ports": 8, "load": 0.3,
+                 "throughputt": 0.3}
+            )
+
+    def test_load_scenarios_bare_array_and_wrapped(self):
+        items = [Scenario("crossbar", 4, 0.2).to_dict(),
+                 Scenario("banyan", 4, 0.2).to_dict()]
+        bare = load_scenarios(json.dumps(items))
+        wrapped = load_scenarios(json.dumps({"scenarios": items}))
+        assert bare == wrapped
+        assert [s.architecture for s in bare] == ["crossbar", "banyan"]
+
+    def test_load_scenarios_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            load_scenarios("[]")
+        with pytest.raises(ConfigurationError, match="scenarios"):
+            load_scenarios('{"runs": []}')
+
+    def test_load_scenarios_malformed_json_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_scenarios('[{"architecture": "crossbar",]')
+
+
+class TestDerived:
+    def test_technology_resolution(self):
+        assert Scenario("crossbar", 8, 0.3).technology == TECH_180NM
+
+    def test_cell_format(self):
+        fmt = Scenario("crossbar", 8, 0.3, bus_width=16, cell_words=8).cell_format
+        assert fmt.bus_width == 16 and fmt.words == 8
+
+    def test_label_synthesised_and_explicit(self):
+        assert "crossbar-8x8" in Scenario("crossbar", 8, 0.3).label
+        assert Scenario("crossbar", 8, 0.3, name="mine").label == "mine"
+
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            ("bernoulli", BernoulliUniformTraffic),
+            ("hotspot", HotspotTraffic),
+            ("bursty", BurstyTraffic),
+            ("trimodal", TrimodalPacketTraffic),
+            ("permutation", PermutationTraffic),
+        ],
+    )
+    def test_build_traffic_kinds(self, kind, cls):
+        generator = Scenario("crossbar", 8, 0.3, traffic=kind).build_traffic()
+        assert isinstance(generator, cls)
+        assert generator.ports == 8
+
+
+class TestGrid:
+    def test_expansion_count(self):
+        scenarios = Scenario.grid(
+            architectures=("crossbar", "banyan"),
+            ports=(4, 8),
+            loads=(0.1, 0.3, 0.5),
+            techs=("0.18um", "0.13um"),
+        )
+        assert len(scenarios) == 2 * 2 * 3 * 2
+
+    def test_expansion_order_deterministic(self):
+        scenarios = Scenario.grid(
+            architectures=("crossbar", "banyan"), loads=(0.1, 0.2)
+        )
+        key = [(s.architecture, s.load) for s in scenarios]
+        assert key == [("crossbar", 0.1), ("crossbar", 0.2),
+                       ("banyan", 0.1), ("banyan", 0.2)]
+
+    def test_common_kwargs_apply_to_all(self):
+        scenarios = Scenario.grid(loads=(0.1, 0.2), backend="estimate", seed=7)
+        assert all(s.backend == "estimate" and s.seed == 7 for s in scenarios)
+
+
+class TestPresets:
+    def test_all_presets_build(self):
+        for name in PRESET_SCENARIOS:
+            scenarios = preset_scenarios(name)
+            assert scenarios, name
+            assert all(isinstance(s, Scenario) for s in scenarios)
+
+    def test_fig9_grid_shape(self):
+        scenarios = preset_scenarios("fig9")
+        assert len(scenarios) == 4 * 10
+        assert {s.ports for s in scenarios} == {32}
+
+    def test_fig10_grid_shape(self):
+        scenarios = preset_scenarios("fig10")
+        assert len(scenarios) == 4 * 4
+        assert {s.ports for s in scenarios} == {4, 8, 16, 32}
+        assert {s.load for s in scenarios} == {0.50}
+
+    def test_scalar_presets(self):
+        assert preset("tcpip").traffic == "trimodal"
+        assert preset("bursty").traffic == "bursty"
+        assert preset("hotspot").traffic == "hotspot"
+
+    def test_preset_on_grid_raises(self):
+        with pytest.raises(ConfigurationError, match="preset_scenarios"):
+            preset("fig9")
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError, match="unknown preset"):
+            preset_scenarios("fig11")
+
+
+class TestWireMode:
+    def test_parse_spellings(self):
+        assert WireMode.parse("worst_case") is WireMode.WORST_CASE
+        assert WireMode.parse("Per-Link") is WireMode.PER_LINK
+        assert WireMode.parse(WireMode.EXPECTED) is WireMode.EXPECTED
+
+    def test_backend_translation(self):
+        assert WireMode.WORST_CASE.analytical == "worst_case"
+        assert WireMode.WORST_CASE.simulated == "worst_case"
+        # expected and per_link are one physical choice, two spellings
+        assert WireMode.EXPECTED.simulated == "per_link"
+        assert WireMode.PER_LINK.analytical == "expected"
+
+    def test_parse_rejects_unknown_with_backends(self):
+        with pytest.raises(ConfigurationError, match="simulated backend"):
+            WireMode.parse("median")
+
+    def test_parse_rejects_non_string(self):
+        with pytest.raises(ConfigurationError):
+            WireMode.parse(3)

@@ -1,7 +1,10 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
+from repro.api import Scenario
 from repro.cli import build_parser, main
 
 
@@ -28,6 +31,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--wire-mode", "median"])
 
+    def test_unified_wire_modes_accepted_everywhere(self):
+        for command in ("estimate", "simulate", "sweep"):
+            for mode in ("worst_case", "expected", "per_link"):
+                args = build_parser().parse_args([command, "--wire-mode", mode])
+                assert args.wire_mode == mode
+
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch", "scenarios.json"])
+        assert args.scenarios == "scenarios.json"
+        assert args.workers == 1
+        assert args.format == "json"
+
 
 class TestCommands:
     def test_estimate(self, capsys):
@@ -51,6 +66,11 @@ class TestCommands:
         assert "fully_connected 4x4" in out
         assert out.count("0.") > 4
 
+    def test_estimate_expected_wire_mode(self, capsys):
+        assert main(["estimate", "--arch", "banyan", "--ports", "16",
+                     "--wire-mode", "expected"]) == 0
+        assert "banyan 16x16" in capsys.readouterr().out
+
     def test_table2(self, capsys):
         assert main(["table2"]) == 0
         out = capsys.readouterr().out
@@ -61,3 +81,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "banyan[1,1]" in out
         assert "calibration" in out
+
+
+class TestBatchCommand:
+    @pytest.fixture
+    def scenario_file(self, tmp_path):
+        scenarios = [
+            Scenario("crossbar", 4, 0.3, backend="estimate",
+                     name="est").to_dict(),
+            Scenario("banyan", 4, 0.3, backend="simulate", name="sim",
+                     arrival_slots=60, warmup_slots=12, seed=9).to_dict(),
+        ]
+        path = tmp_path / "scenarios.json"
+        path.write_text(json.dumps(scenarios))
+        return path
+
+    def test_batch_json_report(self, scenario_file, capsys):
+        assert main(["batch", str(scenario_file), "--workers", "2"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [r["name"] for r in report] == ["est", "sim"]
+        assert {r["backend"] for r in report} == {"estimate", "simulate"}
+        assert all(r["total_power_w"] > 0 for r in report)
+
+    def test_batch_csv_report(self, scenario_file, capsys):
+        assert main(["batch", str(scenario_file), "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("name,backend,architecture")
+        assert len(lines) == 3
+
+    def test_batch_table_report(self, scenario_file, capsys):
+        assert main(["batch", str(scenario_file), "--format", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 scenarios" in out
+
+    def test_batch_unknown_field_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"architecture": "crossbar", "ports": 4, '
+                        '"load": 0.3, "thruput": 0.3}]')
+        assert main(["batch", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "thruput" in err and "load" in err
+
+    def test_batch_missing_file_is_a_clean_error(self, capsys):
+        assert main(["batch", "no-such-file.json"]) == 2
+        assert "cannot read scenario file" in capsys.readouterr().err
+
+    def test_unknown_architecture_is_a_clean_error(self, capsys):
+        assert main(["estimate", "--arch", "clos"]) == 2
+        assert "unknown architecture" in capsys.readouterr().err
+
+    def test_batch_output_file(self, scenario_file, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        assert main(["batch", str(scenario_file),
+                     "--output", str(out_path)]) == 0
+        assert "2 scenarios" in capsys.readouterr().out
+        assert len(json.loads(out_path.read_text())) == 2

@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import make_cell
+from helpers import make_cell
 from repro.core import tables
 from repro.core.analytical import banyan_wire_grids
 from repro.fabrics import topology

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import constant_word_cell, make_cell, popcount
+from helpers import constant_word_cell, make_cell, popcount
 from repro.errors import ConfigurationError, SimulationError
 from repro.fabrics.factory import build_fabric
 from repro.sim import ledger as cat

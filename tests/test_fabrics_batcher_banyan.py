@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import make_cell
+from helpers import make_cell
 from repro.core import tables
 from repro.errors import ConfigurationError
 from repro.fabrics.factory import build_fabric

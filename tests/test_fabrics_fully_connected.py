@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import constant_word_cell, make_cell, popcount
+from helpers import constant_word_cell, make_cell, popcount
 from repro.core import tables
 from repro.fabrics.factory import build_fabric
 from repro.sim import ledger as cat

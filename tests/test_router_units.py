@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import make_cell
+from helpers import make_cell
 from repro.errors import ConfigurationError, SimulationError
 from repro.router.arbiter import FcfsRoundRobinArbiter, OldestFirstArbiter
 from repro.router.cells import CellFormat

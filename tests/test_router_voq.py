@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import make_cell
+from helpers import make_cell
 from repro.errors import ConfigurationError
 from repro.fabrics.factory import build_fabric
 from repro.router.packet import Packet
