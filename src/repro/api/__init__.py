@@ -50,6 +50,7 @@ from repro.api.model import (
     reset_default_session,
     run_batch,
 )
+from repro.api.store import RunRecordStore
 
 __all__ = [
     "WireMode",
@@ -69,4 +70,5 @@ __all__ = [
     "default_session",
     "reset_default_session",
     "run_batch",
+    "RunRecordStore",
 ]

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.core.bit_energy import (
     BufferEnergyModel,
@@ -37,7 +37,7 @@ from repro.core.estimator import (
 from repro.errors import ConfigurationError
 from repro.fabrics.factory import default_models
 from repro.memmodel.buffers import banyan_buffer_model
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import create_engine
 from repro.sim.results import SimulationResult
 from repro.tech import TECH_180NM, Technology
 from repro.tech.wires import WireModel
@@ -45,6 +45,19 @@ from repro.wire_modes import WireMode
 
 from repro.api.records import RunRecord
 from repro.api.scenario import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.store import RunRecordStore
+
+
+def _run_scenario_in_worker(scenario: Scenario) -> RunRecord:
+    """Top-level scenario runner for :class:`ProcessPoolExecutor`.
+
+    Each worker process keeps its own shared default session, so a
+    worker that receives several scenarios still builds wire models and
+    LUTs once.
+    """
+    return default_session().run(scenario)
 
 #: Fabric kwargs that change the banyan buffer *energy model* (and hence
 #: participate in the model-set cache key).
@@ -280,13 +293,17 @@ class PowerModel:
         drain: bool = True,
         wire_mode: WireMode | str = WireMode.WORST_CASE,
         models: EnergyModelSet | None = None,
+        engine: str = "vectorized",
         **router_kwargs: Any,
     ) -> SimulationResult:
         """Bit-accurate simulation with cached energy models.
 
         Same semantics as the legacy ``run_simulation`` (which now
         delegates here); ``router_kwargs`` forward to
-        :func:`repro.sim.runner.build_router`.
+        :func:`repro.sim.runner.build_router`.  ``engine`` selects the
+        slot-loop implementation (``"vectorized"``, the default, or the
+        object-based ``"reference"`` oracle) — both produce
+        bit-identical seeded results.
         """
         from repro.sim.runner import build_router
 
@@ -308,8 +325,9 @@ class PowerModel:
             models=models,
             **router_kwargs,
         )
-        engine = SimulationEngine(router, seed=seed)
-        return engine.run(arrival_slots, warmup_slots=warmup_slots, drain=drain)
+        return create_engine(router, seed=seed, engine=engine).run(
+            arrival_slots, warmup_slots=warmup_slots, drain=drain
+        )
 
     # ------------------------------------------------------------------
     # Scenario execution
@@ -361,6 +379,7 @@ class PowerModel:
             tech=scenario.technology,
             drain=scenario.drain,
             wire_mode=scenario.wire_mode,
+            engine=scenario.engine,
             traffic=scenario.build_traffic(),
             cell_format=scenario.cell_format,
             ingress_queue_cells=scenario.ingress_queue_cells,
@@ -380,23 +399,72 @@ class PowerModel:
         self,
         scenarios: Iterable[Scenario] | Sequence[Scenario],
         workers: int | None = None,
+        executor: str = "thread",
+        store: "RunRecordStore | None" = None,
     ) -> list[RunRecord]:
         """Run many scenarios; results keep the input order.
 
-        ``workers`` > 1 executes on a thread pool (each run owns its
-        router/engine state; the shared caches are immutable, so results
-        are identical to the serial path).
+        Parameters
+        ----------
+        workers:
+            ``None``/1 runs serially; > 1 fans out on a pool.
+        executor:
+            ``"thread"`` (default) shares this session's caches across
+            a thread pool — fine-grained and zero startup cost, but the
+            slot loops contend for the GIL.  ``"process"`` ships each
+            scenario to a :class:`~concurrent.futures.
+            ProcessPoolExecutor` worker (scenarios and records pickle
+            cleanly), which scales CPU-bound simulation fan-out across
+            cores at the price of per-process model caches.
+        store:
+            Optional :class:`~repro.api.store.RunRecordStore`; scenarios
+            whose content hash is already on disk are served from the
+            cache, and fresh results are persisted for the next
+            campaign.
+
+        Every scenario carries its own seed and every run owns its
+        router/engine state, so results are identical (bit-for-bit)
+        across serial, thread, and process execution.
         """
         scenario_list = list(scenarios)
         if workers is not None and workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if executor not in ("thread", "process"):
+            raise ConfigurationError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         if not scenario_list:
             return []
-        if workers is None or workers == 1 or len(scenario_list) == 1:
-            return [self.run(s) for s in scenario_list]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(self.run, s) for s in scenario_list]
-            return [f.result() for f in futures]
+        results: list[RunRecord | None] = [None] * len(scenario_list)
+        if store is not None:
+            pending = []
+            for index, scenario in enumerate(scenario_list):
+                cached = store.get(scenario)
+                if cached is not None:
+                    results[index] = cached
+                else:
+                    pending.append((index, scenario))
+        else:
+            pending = list(enumerate(scenario_list))
+        if pending:
+            if workers is None or workers == 1 or len(pending) == 1:
+                fresh = [self.run(s) for _, s in pending]
+            elif executor == "process":
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(_run_scenario_in_worker, s)
+                        for _, s in pending
+                    ]
+                    fresh = [f.result() for f in futures]
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    futures = [pool.submit(self.run, s) for _, s in pending]
+                    fresh = [f.result() for f in futures]
+            for (index, _), record in zip(pending, fresh):
+                results[index] = record
+                if store is not None:
+                    store.put(record)
+        return results
 
 
 # ----------------------------------------------------------------------
@@ -427,6 +495,10 @@ def reset_default_session() -> None:
 def run_batch(
     scenarios: Iterable[Scenario],
     workers: int | None = None,
+    executor: str = "thread",
+    store: "RunRecordStore | None" = None,
 ) -> list[RunRecord]:
     """Module-level convenience over the shared default session."""
-    return default_session().run_batch(scenarios, workers=workers)
+    return default_session().run_batch(
+        scenarios, workers=workers, executor=executor, store=store
+    )

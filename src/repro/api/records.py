@@ -12,13 +12,15 @@ backend-specific object stays reachable via :attr:`RunRecord.detail`.
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.estimator import AnalyticalPowerEstimate
-from repro.sim.results import SimulationResult
+from repro.errors import ConfigurationError
+from repro.sim.results import EnergyBreakdown, SimulationResult
 
 from repro.api.scenario import Scenario
 
@@ -173,6 +175,54 @@ class RunRecord:
     def csv_row(self) -> list[Any]:
         flat = self.to_dict()
         return [flat[col] for col in CSV_COLUMNS]
+
+    # ------------------------------------------------------------------
+    # Lossless round-trip (the on-disk result cache)
+    # ------------------------------------------------------------------
+
+    def to_cache_dict(self) -> dict[str, Any]:
+        """A JSON-safe dict :meth:`from_cache_dict` rebuilds exactly —
+        including the backend-native ``detail`` object."""
+        return {
+            "backend": self.backend,
+            "throughput": self.throughput,
+            "total_power_w": self.total_power_w,
+            "switch_power_w": self.switch_power_w,
+            "wire_power_w": self.wire_power_w,
+            "buffer_power_w": self.buffer_power_w,
+            "energy_per_bit_j": self.energy_per_bit_j,
+            "elapsed_s": self.elapsed_s,
+            "scenario": self.scenario.to_dict(),
+            "detail": dataclasses.asdict(self.detail),
+        }
+
+    @classmethod
+    def from_cache_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        """Rebuild a record written by :meth:`to_cache_dict`."""
+        scenario = Scenario.from_dict(data["scenario"])
+        detail_data = dict(data["detail"])
+        backend = data["backend"]
+        if backend == "simulate":
+            detail_data["energy"] = EnergyBreakdown(**detail_data["energy"])
+            detail: Any = SimulationResult(**detail_data)
+        elif backend == "estimate":
+            detail = AnalyticalPowerEstimate(**detail_data)
+        else:
+            raise ConfigurationError(
+                f"cached record has unknown backend {backend!r}"
+            )
+        return cls(
+            scenario=scenario,
+            backend=backend,
+            throughput=data["throughput"],
+            total_power_w=data["total_power_w"],
+            switch_power_w=data["switch_power_w"],
+            wire_power_w=data["wire_power_w"],
+            buffer_power_w=data["buffer_power_w"],
+            energy_per_bit_j=data["energy_per_bit_j"],
+            elapsed_s=data["elapsed_s"],
+            detail=detail,
+        )
 
 
 def records_to_json(records: Iterable[RunRecord], indent: int = 2) -> str:

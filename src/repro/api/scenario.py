@@ -21,6 +21,7 @@ Construction helpers mirror how the paper's figures are built:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Iterable, Mapping, Sequence
@@ -33,9 +34,12 @@ from repro.router.traffic import (
     BurstyTraffic,
     HotspotTraffic,
     PermutationTraffic,
+    TraceEntry,
+    TraceTraffic,
     TrafficGenerator,
     TrimodalPacketTraffic,
 )
+from repro.sim.engine import ENGINES
 from repro.tech import Technology
 from repro.tech.presets import PRESETS as TECH_PRESETS
 from repro.tech.presets import get_technology
@@ -45,7 +49,28 @@ from repro.wire_modes import WireMode
 BACKENDS = ("estimate", "simulate")
 
 #: Traffic generator constructors by scenario ``traffic`` name.
-TRAFFIC_KINDS = ("bernoulli", "hotspot", "bursty", "trimodal", "permutation")
+TRAFFIC_KINDS = (
+    "bernoulli",
+    "hotspot",
+    "bursty",
+    "trimodal",
+    "permutation",
+    "trace",
+)
+
+
+def _freeze_value(value: Any) -> Any:
+    """Recursively convert lists (e.g. trace entry rows) to tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+def _thaw_value(value: Any) -> Any:
+    """Inverse of :func:`_freeze_value` for JSON export."""
+    if isinstance(value, tuple):
+        return [_thaw_value(v) for v in value]
+    return value
 
 
 def _freeze_params(params: Any) -> tuple[tuple[str, Any], ...]:
@@ -58,9 +83,7 @@ def _freeze_params(params: Any) -> tuple[tuple[str, Any], ...]:
         items = tuple(params)
     frozen = []
     for key, value in sorted(items):
-        if isinstance(value, list):
-            value = tuple(value)
-        frozen.append((str(key), value))
+        frozen.append((str(key), _freeze_value(value)))
     return tuple(frozen)
 
 
@@ -84,6 +107,11 @@ class Scenario:
         ``"simulate"`` (bit-accurate, default) or ``"estimate"``
         (closed-form).  :meth:`repro.api.PowerModel.run` dispatches on
         this; ``estimate()``/``simulate()`` override it.
+    engine:
+        Slot-loop implementation for the simulated backend:
+        ``"vectorized"`` (array-based, default) or ``"reference"``
+        (the object-based oracle).  Both produce bit-identical seeded
+        results; the analytical backend ignores this field.
     tech:
         Technology node: a preset name (``"0.18um"``) or a
         :class:`~repro.tech.Technology` instance (serialised by value
@@ -119,6 +147,7 @@ class Scenario:
     ports: int
     load: float
     backend: str = "simulate"
+    engine: str = "vectorized"
     tech: str | Technology = "0.18um"
     wire_mode: WireMode = WireMode.WORST_CASE
     flip_fraction: float = 0.5
@@ -151,6 +180,10 @@ class Scenario:
         if self.backend not in BACKENDS:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
         if self.ports < 2:
             raise ConfigurationError("a scenario needs at least 2 ports")
@@ -211,6 +244,25 @@ class Scenario:
         """Instantiate this scenario's traffic generator."""
         fmt = self.cell_format
         params = dict(self.traffic_params)
+        if self.traffic == "trace":
+            entries = params.pop("entries", None)
+            if entries is None:
+                raise ConfigurationError(
+                    'trace traffic needs traffic_params["entries"]: a list '
+                    "of [slot, src, dest, size_bits] rows"
+                )
+            if params:
+                raise ConfigurationError(
+                    f"unknown trace traffic params: {sorted(params)}"
+                )
+            try:
+                parsed = [TraceEntry(*map(int, row)) for row in entries]
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"bad trace entry rows (expected [slot, src, dest, "
+                    f"size_bits]): {exc}"
+                ) from exc
+            return TraceTraffic(self.ports, parsed, bus_width=self.bus_width)
         common = dict(
             ports=self.ports,
             load=self.load,
@@ -270,8 +322,7 @@ class Scenario:
                 else:
                     value = dataclasses.asdict(value)
             elif f.name == "traffic_params":
-                value = {k: list(v) if isinstance(v, tuple) else v
-                         for k, v in value}
+                value = {k: _thaw_value(v) for k, v in value}
             out[f.name] = value
         return out
 
@@ -294,6 +345,16 @@ class Scenario:
 
     def to_json(self, **dumps_kwargs: Any) -> str:
         return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the scenario's full content.
+
+        Two scenarios hash equal iff every field that influences the
+        run (including seed, engine, and measurement window) is equal —
+        the key of the on-disk :class:`repro.api.store.RunRecordStore`.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "Scenario":

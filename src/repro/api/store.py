@@ -1,0 +1,116 @@
+"""On-disk result cache: a JSONL store of executed scenarios.
+
+Repeated campaigns (load sweeps re-run with one extra point, CI jobs,
+multi-process fan-outs) keep re-measuring operating points that have
+already been simulated.  :class:`RunRecordStore` persists every
+:class:`~repro.api.records.RunRecord` as one JSON line keyed by the
+scenario's :meth:`~repro.api.scenario.Scenario.content_hash`, so any
+later run of a byte-identical scenario — in this process or another —
+is served from disk instead of re-simulated.  Because both engines are
+bit-identical and every scenario carries its seed, a cached record *is*
+the record the run would produce.
+
+The file format is append-only JSONL: concurrent writers (e.g. several
+``repro batch --cache`` invocations) each append whole lines, and
+corrupt/partial trailing lines are skipped on load rather than
+poisoning the cache.  Wire it into a batch with
+``PowerModel.run_batch(..., store=...)`` or ``repro batch --cache
+PATH``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+from repro.api.records import RunRecord
+from repro.api.scenario import Scenario
+
+
+class RunRecordStore:
+    """JSONL-backed scenario-hash -> :class:`RunRecord` cache.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file.  Created (with parents) on first :meth:`put`;
+        an existing file is loaded eagerly.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._records: dict[str, RunRecord] = {}
+        self.hits = 0
+        self.misses = 0
+        self.skipped_lines = 0
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = entry["key"]
+                    record = RunRecord.from_cache_dict(entry["record"])
+                except (
+                    KeyError,
+                    TypeError,
+                    ValueError,
+                    ConfigurationError,
+                ):
+                    # Partial/foreign line (e.g. a writer died mid-append);
+                    # a cache must degrade to a miss, not an error.
+                    self.skipped_lines += 1
+                    continue
+                self._records[key] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, scenario: Scenario) -> bool:
+        return scenario.content_hash() in self._records
+
+    def records(self) -> Iterator[RunRecord]:
+        return iter(self._records.values())
+
+    # ------------------------------------------------------------------
+
+    def get(self, scenario: Scenario) -> RunRecord | None:
+        """The cached record for a scenario, or None (counted as miss)."""
+        record = self._records.get(scenario.content_hash())
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def put(self, record: RunRecord) -> None:
+        """Persist a freshly-run record (one appended JSONL line)."""
+        key = record.scenario.content_hash()
+        if key in self._records:
+            self._records[key] = record
+            return
+        self._records[key] = record
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"key": key, "record": record.to_cache_dict()})
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._records),
+            "hits": self.hits,
+            "misses": self.misses,
+            "skipped_lines": self.skipped_lines,
+        }

@@ -43,6 +43,18 @@ from repro.wire_modes import WireMode
 WIRE_MODE_CHOICES = tuple(m.value for m in WireMode)
 
 
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    from repro.sim.engine import ENGINES
+
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="vectorized",
+        help="slot-loop implementation (bit-identical seeded results; "
+        "'vectorized' is several times faster)",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--arch",
@@ -82,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--slots", type=int, default=1000, help="arrival slots")
     sim.add_argument("--warmup", type=int, default=200)
     sim.add_argument("--seed", type=int, default=12345)
+    _add_engine(sim)
 
     sweep = sub.add_parser("sweep", help="throughput sweep (Fig. 9 style)")
     _add_common(sweep)
@@ -93,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=[0.1, 0.2, 0.3, 0.4, 0.5],
     )
+    _add_engine(sweep)
 
     batch = sub.add_parser(
         "batch", help="run a scenarios JSON file through the batch API"
@@ -102,7 +116,22 @@ def build_parser() -> argparse.ArgumentParser:
         help='JSON file: an array of scenario objects (or {"scenarios": [...]})',
     )
     batch.add_argument(
-        "--workers", type=int, default=1, help="thread-pool width"
+        "--workers", type=int, default=1, help="worker-pool width"
+    )
+    batch.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool kind: threads (shared caches) or processes "
+        "(CPU-bound fan-out across cores)",
+    )
+    batch.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="JSONL result cache keyed by scenario content hash; "
+        "already-measured scenarios are served from it and fresh "
+        "results appended",
     )
     batch.add_argument(
         "--format",
@@ -155,6 +184,7 @@ def cmd_simulate(args) -> int:
         ports=args.ports,
         load=args.load,
         backend="simulate",
+        engine=args.engine,
         tech=args.tech,
         wire_mode=args.wire_mode,
         arrival_slots=args.slots,
@@ -179,6 +209,7 @@ def cmd_sweep(args) -> int:
         seed=args.seed,
         tech=get_technology(args.tech),
         wire_mode=WireMode.parse(args.wire_mode).simulated,
+        engine=args.engine,
     )
     rows = [
         [f"{p.offered_load:.2f}", f"{p.throughput:.3f}",
@@ -216,7 +247,24 @@ def cmd_batch(args) -> int:
             f"cannot read scenario file {args.scenarios!r}: {exc}"
         ) from exc
     scenarios = load_scenarios(text)
-    records = default_session().run_batch(scenarios, workers=args.workers)
+    store = None
+    if args.cache:
+        from repro.api.store import RunRecordStore
+
+        store = RunRecordStore(args.cache)
+    records = default_session().run_batch(
+        scenarios,
+        workers=args.workers,
+        executor=args.executor,
+        store=store,
+    )
+    if store is not None:
+        stats = store.stats()
+        print(
+            f"cache {args.cache}: {stats['hits']} hits, "
+            f"{stats['misses']} misses, {stats['entries']} entries",
+            file=sys.stderr,
+        )
 
     if args.format == "json":
         report = records_to_json(records)

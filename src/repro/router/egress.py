@@ -145,17 +145,9 @@ class EgressUnit:
 
     def latency_stats(self) -> dict[str, float]:
         """Packet latency (slots from ingress arrival to completion)."""
-        if not self._latency_slots:
-            return {"count": 0, "mean": 0.0, "max": 0.0, "p95": 0.0}
-        values = sorted(self._latency_slots)
-        count = len(values)
-        p95_index = min(count - 1, int(0.95 * count))
-        return {
-            "count": count,
-            "mean": sum(values) / count,
-            "max": float(values[-1]),
-            "p95": float(values[p95_index]),
-        }
+        from repro.sim.results import latency_stats_from_slots
+
+        return latency_stats_from_slots(self._latency_slots)
 
     def reset_measurements(self) -> None:
         """Zero all statistics (warmup boundary); reassembly state stays."""

@@ -10,21 +10,173 @@ size mix, and replayable traces.
 
 All generators are driven by a seeded :class:`numpy.random.Generator`
 owned by the engine, so simulations are bit-for-bit reproducible.
+
+Generation is *batched*: the RNG-consuming primitive is
+:meth:`TrafficGenerator.arrivals_batch`, which returns one
+:class:`ArrivalBatch` — parallel source/destination/size arrays plus a
+single concatenated payload-word array — per slot.  The legacy
+:meth:`TrafficGenerator.arrivals` (a list of :class:`Packet` objects)
+is a thin wrapper that materialises the batch, so the object-based
+reference engine and the array-based vectorized engine consume exactly
+the same random stream and therefore see exactly the same workload.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.router.packet import Packet
+from repro.router.packet import Packet, bus_mask
+
+
+def draw_payload_batch(
+    rng: np.random.Generator, size_bits: np.ndarray, bus_width: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random payloads for a batch of packets in one RNG draw.
+
+    Returns ``(words, offsets)`` where ``words`` is the concatenation of
+    every packet's payload words (uint64, low ``bus_width`` bits, tail
+    words zero-padded exactly like
+    :func:`repro.router.packet.make_payload_words`) and
+    ``words[offsets[i]:offsets[i+1]]`` is packet ``i``'s payload.
+    """
+    mask = np.uint64(bus_mask(bus_width))
+    sizes = np.asarray(size_bits, dtype=np.int64)
+    if sizes.size and int(sizes.min()) < 0:
+        raise ConfigurationError("size_bits must be >= 0")
+    words_per = (sizes + bus_width - 1) // bus_width
+    offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+    np.cumsum(words_per, out=offsets[1:])
+    total = int(offsets[-1])
+    if total == 0:
+        return np.zeros(0, dtype=np.uint64), offsets
+    words = rng.integers(0, 1 << bus_width, size=total, dtype=np.uint64)
+    words &= mask
+    # Zero-pad the high bits of each packet's final word.
+    nonempty = np.flatnonzero(words_per > 0)
+    tails = offsets[1:][nonempty] - 1
+    tail_bits = (sizes[nonempty] - (words_per[nonempty] - 1) * bus_width).astype(
+        np.uint64
+    )
+    full = tail_bits >= bus_width
+    tail_mask = np.where(
+        full,
+        mask,
+        (np.uint64(1) << (tail_bits % np.uint64(bus_width))) - np.uint64(1),
+    )
+    words[tails] &= tail_mask
+    return words, offsets
+
+
+@dataclass
+class ArrivalBatch:
+    """One slot's arrivals as parallel arrays (struct-of-arrays).
+
+    Attributes
+    ----------
+    created_slot: the slot every packet of this batch arrived in.
+    bus_width: bus lanes the payload words are shaped for.
+    srcs / dests / size_bits / packet_ids: one entry per packet.
+    payload_words: all payload words concatenated (uint64).
+    word_offsets: ``payload_words[word_offsets[i]:word_offsets[i+1]]``
+        is packet ``i``'s payload.
+    created_slots: optional per-packet creation slots overriding
+        ``created_slot``.  The built-in generators leave this None
+        (their packets are created in the slot they arrive); the
+        :meth:`from_packets` adapter fills it so legacy generators
+        whose packets carry their own ``created_slot`` (``Packet``
+        defaults it to 0) behave identically through both engines.
+    """
+
+    created_slot: int
+    bus_width: int
+    srcs: np.ndarray
+    dests: np.ndarray
+    size_bits: np.ndarray
+    packet_ids: np.ndarray
+    payload_words: np.ndarray
+    word_offsets: np.ndarray
+    created_slots: np.ndarray | None = None
+
+    def packet_created_slot(self, i: int) -> int:
+        """Creation slot of packet ``i``."""
+        if self.created_slots is None:
+            return self.created_slot
+        return int(self.created_slots[i])
+
+    def __len__(self) -> int:
+        return int(self.srcs.size)
+
+    @classmethod
+    def empty(cls, slot: int, bus_width: int) -> "ArrivalBatch":
+        zero = np.zeros(0, dtype=np.int64)
+        return cls(
+            created_slot=slot,
+            bus_width=bus_width,
+            srcs=zero,
+            dests=zero,
+            size_bits=zero,
+            packet_ids=zero,
+            payload_words=np.zeros(0, dtype=np.uint64),
+            word_offsets=np.zeros(1, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_packets(
+        cls, slot: int, bus_width: int, packets: list[Packet]
+    ) -> "ArrivalBatch":
+        """Adapter for generators that only produce :class:`Packet` lists."""
+        if not packets:
+            return cls.empty(slot, bus_width)
+        offsets = np.zeros(len(packets) + 1, dtype=np.int64)
+        np.cumsum([p.word_count for p in packets], out=offsets[1:])
+        payload = (
+            np.concatenate([p.payload_words for p in packets])
+            if int(offsets[-1])
+            else np.zeros(0, dtype=np.uint64)
+        )
+        return cls(
+            created_slot=slot,
+            bus_width=bus_width,
+            srcs=np.array([p.src_port for p in packets], dtype=np.int64),
+            dests=np.array([p.dest_port for p in packets], dtype=np.int64),
+            size_bits=np.array([p.size_bits for p in packets], dtype=np.int64),
+            packet_ids=np.array([p.packet_id for p in packets], dtype=np.int64),
+            payload_words=np.asarray(payload, dtype=np.uint64),
+            word_offsets=offsets,
+            created_slots=np.array(
+                [p.created_slot for p in packets], dtype=np.int64
+            ),
+        )
+
+    def to_packets(self) -> list[Packet]:
+        """Materialise the batch as :class:`Packet` objects."""
+        packets = []
+        offsets = self.word_offsets
+        for i in range(len(self)):
+            packets.append(
+                Packet(
+                    packet_id=int(self.packet_ids[i]),
+                    src_port=int(self.srcs[i]),
+                    dest_port=int(self.dests[i]),
+                    payload_words=self.payload_words[offsets[i] : offsets[i + 1]],
+                    size_bits=int(self.size_bits[i]),
+                    created_slot=self.packet_created_slot(i),
+                )
+            )
+        return packets
 
 
 class TrafficGenerator(ABC):
-    """Produces the packets arriving at each ingress port every slot."""
+    """Produces the packets arriving at each ingress port every slot.
+
+    Subclasses implement :meth:`arrivals_batch` (preferred — it is the
+    single RNG-consuming primitive) or the legacy :meth:`arrivals`;
+    each default-delegates to the other.
+    """
 
     def __init__(self, ports: int, bus_width: int) -> None:
         if ports < 2:
@@ -33,9 +185,51 @@ class TrafficGenerator(ABC):
         self.bus_width = bus_width
         self._next_packet_id = 0
 
-    @abstractmethod
     def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
         """Packets arriving during ``slot`` (any ports, any count)."""
+        return self.arrivals_batch(slot, rng).to_packets()
+
+    def arrivals_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
+        """Arrivals of one slot as an :class:`ArrivalBatch`."""
+        if type(self).arrivals is TrafficGenerator.arrivals:
+            raise ConfigurationError(
+                f"{type(self).__name__} implements neither arrivals() nor "
+                "arrivals_batch()"
+            )
+        return ArrivalBatch.from_packets(
+            slot, self.bus_width, self.arrivals(slot, rng)
+        )
+
+    # ------------------------------------------------------------------
+
+    def _claim_packet_ids(self, count: int) -> np.ndarray:
+        """Sequential globally-unique packet ids for a batch."""
+        ids = np.arange(
+            self._next_packet_id, self._next_packet_id + count, dtype=np.int64
+        )
+        self._next_packet_id += count
+        return ids
+
+    def _batch(
+        self,
+        slot: int,
+        rng: np.random.Generator,
+        srcs: np.ndarray,
+        dests: np.ndarray,
+        size_bits: np.ndarray,
+    ) -> ArrivalBatch:
+        """Assemble a batch: draw payloads, assign ids."""
+        payload, offsets = draw_payload_batch(rng, size_bits, self.bus_width)
+        return ArrivalBatch(
+            created_slot=slot,
+            bus_width=self.bus_width,
+            srcs=np.asarray(srcs, dtype=np.int64),
+            dests=np.asarray(dests, dtype=np.int64),
+            size_bits=np.asarray(size_bits, dtype=np.int64),
+            packet_ids=self._claim_packet_ids(int(np.asarray(srcs).size)),
+            payload_words=payload,
+            word_offsets=offsets,
+        )
 
     def _new_packet(
         self,
@@ -45,6 +239,7 @@ class TrafficGenerator(ABC):
         size_bits: int,
         slot: int,
     ) -> Packet:
+        """Legacy helper for packet-at-a-time generator subclasses."""
         packet = Packet.random(
             rng,
             packet_id=self._next_packet_id,
@@ -91,18 +286,26 @@ class BernoulliUniformTraffic(TrafficGenerator):
         self.packet_bits = packet_bits
         self.allow_self = allow_self
 
-    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
-        packets = []
+    def _draw_dests(
+        self, rng: np.random.Generator, srcs: np.ndarray
+    ) -> np.ndarray:
+        dests = rng.integers(0, self.ports, size=srcs.size)
+        if not self.allow_self:
+            while True:
+                bad = np.flatnonzero(dests == srcs)
+                if bad.size == 0:
+                    break
+                dests[bad] = rng.integers(0, self.ports, size=bad.size)
+        return dests
+
+    def arrivals_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
         draws = rng.random(self.ports)
-        for src in range(self.ports):
-            if draws[src] >= self.load:
-                continue
-            dest = int(rng.integers(0, self.ports))
-            if not self.allow_self:
-                while dest == src:
-                    dest = int(rng.integers(0, self.ports))
-            packets.append(self._new_packet(rng, src, dest, self.packet_bits, slot))
-        return packets
+        srcs = np.flatnonzero(draws < self.load)
+        if srcs.size == 0:
+            return ArrivalBatch.empty(slot, self.bus_width)
+        dests = self._draw_dests(rng, srcs)
+        sizes = np.full(srcs.size, self.packet_bits, dtype=np.int64)
+        return self._batch(slot, rng, srcs, dests, sizes)
 
 
 class HotspotTraffic(BernoulliUniformTraffic):
@@ -129,18 +332,15 @@ class HotspotTraffic(BernoulliUniformTraffic):
         self.hotspot_port = hotspot_port
         self.hotspot_fraction = hotspot_fraction
 
-    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
-        packets = []
-        draws = rng.random(self.ports)
-        for src in range(self.ports):
-            if draws[src] >= self.load:
-                continue
-            if rng.random() < self.hotspot_fraction:
-                dest = self.hotspot_port
-            else:
-                dest = int(rng.integers(0, self.ports))
-            packets.append(self._new_packet(rng, src, dest, self.packet_bits, slot))
-        return packets
+    def _draw_dests(
+        self, rng: np.random.Generator, srcs: np.ndarray
+    ) -> np.ndarray:
+        hot = rng.random(srcs.size) < self.hotspot_fraction
+        dests = np.full(srcs.size, self.hotspot_port, dtype=np.int64)
+        cold = np.flatnonzero(~hot)
+        if cold.size:
+            dests[cold] = rng.integers(0, self.ports, size=cold.size)
+        return dests
 
 
 class PermutationTraffic(TrafficGenerator):
@@ -168,19 +368,17 @@ class PermutationTraffic(TrafficGenerator):
             raise ConfigurationError("permutation must be a bijection on ports")
         self.load = load
         self.permutation = list(permutation)
+        self._permutation_array = np.array(permutation, dtype=np.int64)
         self.packet_bits = packet_bits
 
-    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
-        packets = []
+    def arrivals_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
         draws = rng.random(self.ports)
-        for src in range(self.ports):
-            if draws[src] < self.load:
-                packets.append(
-                    self._new_packet(
-                        rng, src, self.permutation[src], self.packet_bits, slot
-                    )
-                )
-        return packets
+        srcs = np.flatnonzero(draws < self.load)
+        if srcs.size == 0:
+            return ArrivalBatch.empty(slot, self.bus_width)
+        dests = self._permutation_array[srcs]
+        sizes = np.full(srcs.size, self.packet_bits, dtype=np.int64)
+        return self._batch(slot, rng, srcs, dests, sizes)
 
 
 class BurstyTraffic(TrafficGenerator):
@@ -216,24 +414,19 @@ class BurstyTraffic(TrafficGenerator):
         self._p_on = 1.0 / off_dwell
         self._state: np.ndarray | None = None
 
-    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+    def arrivals_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
         if self._state is None:
             self._state = rng.random(self.ports) < self.load
         flips = rng.random(self.ports)
-        for src in range(self.ports):
-            if self._state[src]:
-                if flips[src] < self._p_off:
-                    self._state[src] = False
-            elif flips[src] < self._p_on:
-                self._state[src] = True
-        packets = []
-        for src in range(self.ports):
-            if self._state[src]:
-                dest = int(rng.integers(0, self.ports))
-                packets.append(
-                    self._new_packet(rng, src, dest, self.packet_bits, slot)
-                )
-        return packets
+        self._state = np.where(
+            self._state, flips >= self._p_off, flips < self._p_on
+        )
+        srcs = np.flatnonzero(self._state)
+        if srcs.size == 0:
+            return ArrivalBatch.empty(slot, self.bus_width)
+        dests = rng.integers(0, self.ports, size=srcs.size)
+        sizes = np.full(srcs.size, self.packet_bits, dtype=np.int64)
+        return self._batch(slot, rng, srcs, dests, sizes)
 
 
 class TrimodalPacketTraffic(TrafficGenerator):
@@ -277,17 +470,16 @@ class TrimodalPacketTraffic(TrafficGenerator):
         """Packet arrival probability per port per slot."""
         return min(1.0, self.load / self._mean_cells)
 
-    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
-        packets = []
+    def arrivals_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
         draws = rng.random(self.ports)
-        rate = self.packet_rate
-        for src in range(self.ports):
-            if draws[src] >= rate:
-                continue
-            size_bits = int(rng.choice(self._sizes, p=self._probs))
-            dest = int(rng.integers(0, self.ports))
-            packets.append(self._new_packet(rng, src, dest, size_bits, slot))
-        return packets
+        srcs = np.flatnonzero(draws < self.packet_rate)
+        if srcs.size == 0:
+            return ArrivalBatch.empty(slot, self.bus_width)
+        sizes = rng.choice(self._sizes, size=srcs.size, p=self._probs).astype(
+            np.int64
+        )
+        dests = rng.integers(0, self.ports, size=srcs.size)
+        return self._batch(slot, rng, srcs, dests, sizes)
 
 
 @dataclass(frozen=True)
@@ -315,8 +507,11 @@ class TraceTraffic(TrafficGenerator):
                 raise ConfigurationError(f"trace entry out of range: {entry}")
             self._by_slot.setdefault(entry.slot, []).append(entry)
 
-    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
-        return [
-            self._new_packet(rng, e.src, e.dest, e.size_bits, slot)
-            for e in self._by_slot.get(slot, [])
-        ]
+    def arrivals_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
+        entries = self._by_slot.get(slot)
+        if not entries:
+            return ArrivalBatch.empty(slot, self.bus_width)
+        srcs = np.array([e.src for e in entries], dtype=np.int64)
+        dests = np.array([e.dest for e in entries], dtype=np.int64)
+        sizes = np.array([e.size_bits for e in entries], dtype=np.int64)
+        return self._batch(slot, rng, srcs, dests, sizes)

@@ -9,23 +9,33 @@ package provides the equivalent in Python/numpy:
   remembers its resting level, and transfers count *actual* bit flips of
   the real payload (Section 3.3's "only bits with flipped polarity
   consume energy").
-* :mod:`~repro.sim.engine` — the slot loop: traffic -> ingress queues ->
-  arbiter grants -> fabric transport -> egress accounting.
+* :mod:`~repro.sim.engine` — the reference slot loop: traffic ->
+  ingress queues -> arbiter grants -> fabric transport -> egress
+  accounting; also :func:`~repro.sim.engine.create_engine`, the
+  engine selector.
+* :mod:`~repro.sim.vector_engine` / :mod:`~repro.sim.cellstore` — the
+  vectorized slot loop: struct-of-arrays cells, id-based queues, and
+  batched per-slot wire-flip counting.  Bit-identical seeded results,
+  several times faster.
 * :mod:`~repro.sim.results` — measurement containers.
 * :mod:`~repro.sim.runner` — ``run_simulation(...)``, the one-call API.
 """
 
 from repro.sim.ledger import EnergyLedger
 from repro.sim.tracer import WireTracer, count_flips
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import ENGINES, SimulationEngine, create_engine
 from repro.sim.results import EnergyBreakdown, SimulationResult
 from repro.sim.runner import run_simulation
+from repro.sim.vector_engine import VectorizedEngine
 
 __all__ = [
     "EnergyLedger",
     "WireTracer",
     "count_flips",
+    "ENGINES",
     "SimulationEngine",
+    "VectorizedEngine",
+    "create_engine",
     "EnergyBreakdown",
     "SimulationResult",
     "run_simulation",

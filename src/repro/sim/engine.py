@@ -23,6 +23,36 @@ from repro.router.router import NetworkRouter
 from repro.sim import ledger as categories
 from repro.sim.results import EnergyBreakdown, SimulationResult
 
+#: Selectable slot-loop implementations (see :func:`create_engine`).
+ENGINES = ("vectorized", "reference")
+
+
+def create_engine(
+    router: NetworkRouter,
+    seed: int | None = 12345,
+    engine: str = "vectorized",
+):
+    """Build the requested slot-loop engine over an assembled router.
+
+    ``engine="vectorized"`` (default) returns the array-based
+    :class:`~repro.sim.vector_engine.VectorizedEngine`, which produces
+    bit-identical seeded results to ``engine="reference"`` (this
+    module's :class:`SimulationEngine`, the oracle) for every supported
+    router configuration, only faster.  Unsupported configurations
+    (VOQ routers, custom fabrics or arbiters) raise
+    :class:`~repro.errors.ConfigurationError` — pass
+    ``engine="reference"`` for those.
+    """
+    if engine == "reference":
+        return SimulationEngine(router, seed=seed)
+    if engine == "vectorized":
+        from repro.sim.vector_engine import VectorizedEngine
+
+        return VectorizedEngine(router, seed=seed)
+    raise ConfigurationError(
+        f"unknown engine {engine!r}; expected one of {ENGINES}"
+    )
+
 
 class SimulationEngine:
     """Runs a :class:`~repro.router.router.NetworkRouter` through slots.

@@ -82,6 +82,20 @@ class EnergyLedger:
     def counter(self, name: str) -> int:
         return self._counters.get(name, 0)
 
+    def component_dict(self, category: str) -> dict[str, float]:
+        """The live, mutable component->joules mapping of one category.
+
+        The vectorized fabric cores accumulate into this directly so
+        their per-component float-add sequence (and the dict's insertion
+        order, which fixes the summation order of
+        :meth:`category_total_j`) is bit-identical to the reference
+        fabrics' :meth:`add` calls.  Callers must skip zero additions,
+        exactly as :meth:`add` does.
+        """
+        if category not in self._energy:
+            raise ConfigurationError(f"unknown category {category!r}")
+        return self._energy[category]
+
     def counters(self) -> dict[str, int]:
         return dict(self._counters)
 

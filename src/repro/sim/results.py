@@ -8,6 +8,26 @@ from repro.sim import ledger as categories
 from repro.units import to_mW
 
 
+def latency_stats_from_slots(latency_slots: list[int]) -> dict[str, float]:
+    """Summary statistics of packet latencies (in slots).
+
+    The single implementation behind both engines' latency reporting —
+    the vectorized/reference exact-equality contract depends on them
+    sharing it.
+    """
+    if not latency_slots:
+        return {"count": 0, "mean": 0.0, "max": 0.0, "p95": 0.0}
+    values = sorted(latency_slots)
+    count = len(values)
+    p95_index = min(count - 1, int(0.95 * count))
+    return {
+        "count": count,
+        "mean": sum(values) / count,
+        "max": float(values[-1]),
+        "p95": float(values[p95_index]),
+    }
+
+
 @dataclass(frozen=True)
 class EnergyBreakdown:
     """Energy by bit-energy component (joules), mirroring Section 3.

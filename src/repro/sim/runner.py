@@ -74,6 +74,7 @@ def run_simulation(
     seed: int | None = 12345,
     tech: Technology = TECH_180NM,
     drain: bool = True,
+    engine: str = "vectorized",
     **router_kwargs,
 ) -> SimulationResult:
     """Build a router, run it, return the measurements.
@@ -92,6 +93,8 @@ def run_simulation(
     arrival_slots: measurement window length.
     warmup_slots: discarded initial slots.
     seed: RNG seed (payload bits + arrival process).
+    engine: slot-loop implementation, ``"vectorized"`` (default) or
+        ``"reference"`` — bit-identical seeded results either way.
     router_kwargs: forwarded to :func:`build_router` (e.g. ``wire_mode``,
         ``traffic``, ``buffer_memory``, ``cell_format``).
     """
@@ -106,5 +109,6 @@ def run_simulation(
         seed=seed,
         tech=tech,
         drain=drain,
+        engine=engine,
         **router_kwargs,
     )

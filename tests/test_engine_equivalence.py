@@ -1,0 +1,335 @@
+"""Vectorized vs reference engine: exact seeded equivalence.
+
+The vectorized engine is only allowed to be *faster*: for every
+supported router configuration its seeded :class:`SimulationResult`
+must equal the reference engine's **bit for bit** — energy breakdown
+(all four components), throughput, delivered cells, payload bits,
+latency statistics, event counters, drain length.  These tests compare
+whole result objects with ``==`` (dataclass field equality, exact float
+comparison) across the fabric/traffic/configuration matrix.
+
+Any relaxation of this contract (tolerances, skipped fields) would let
+silent divergence into every default simulation, so don't.
+"""
+
+import pytest
+
+from repro.api import PowerModel, Scenario
+from repro.errors import ConfigurationError
+from repro.fabrics.factory import build_fabric
+from repro.router.arbiter import OldestFirstArbiter
+from repro.router.router import NetworkRouter
+from repro.router.traffic import BernoulliUniformTraffic, TraceEntry, TraceTraffic
+from repro.router.voq import VoqNetworkRouter
+from repro.sim.engine import SimulationEngine, create_engine
+from repro.sim.runner import build_router
+from repro.sim.vector_engine import VectorizedEngine
+
+ARCHES = ("crossbar", "fully_connected", "banyan", "batcher_banyan")
+
+RUN = dict(arrival_slots=140, warmup_slots=25, seed=97)
+
+
+def run_pair(scenario: Scenario):
+    """One scenario through both engines (fresh sessions/state)."""
+    session = PowerModel()
+    ref = session.simulate(scenario.replace(engine="reference")).detail
+    vec = session.simulate(scenario.replace(engine="vectorized")).detail
+    return ref, vec
+
+
+def assert_identical(ref, vec):
+    """Field-by-field exact equality (nan-aware) with readable failures."""
+    import dataclasses
+    import math
+
+    diffs = []
+    for field in dataclasses.fields(type(ref)):
+        a, b = getattr(ref, field.name), getattr(vec, field.name)
+        if a == b:
+            continue
+        # offered_load is nan for load-less generators (trace traffic);
+        # nan-in-both counts as equal here.
+        if (
+            isinstance(a, float)
+            and isinstance(b, float)
+            and math.isnan(a)
+            and math.isnan(b)
+        ):
+            continue
+        diffs.append(f"{field.name}: reference={a!r} vectorized={b!r}")
+    if diffs:
+        raise AssertionError("engines diverged:\n  " + "\n  ".join(diffs))
+
+
+class TestFabricMatrix:
+    @pytest.mark.parametrize("arch", ARCHES)
+    @pytest.mark.parametrize("load", [0.25, 0.9])
+    def test_all_fabrics_all_loads(self, arch, load):
+        ref, vec = run_pair(Scenario(arch, 8, load, **RUN))
+        assert_identical(ref, vec)
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_sixteen_ports(self, arch):
+        ref, vec = run_pair(
+            Scenario(arch, 16, 0.6, arrival_slots=80, warmup_slots=10, seed=3)
+        )
+        assert_identical(ref, vec)
+
+    @pytest.mark.parametrize("ports", [2, 4])
+    def test_small_banyan(self, ports):
+        ref, vec = run_pair(Scenario("banyan", ports, 0.8, **RUN))
+        assert_identical(ref, vec)
+
+    @pytest.mark.parametrize("wire_mode", ["per_link", "expected"])
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_wire_modes(self, arch, wire_mode):
+        ref, vec = run_pair(Scenario(arch, 8, 0.7, wire_mode=wire_mode, **RUN))
+        assert_identical(ref, vec)
+
+
+class TestTrafficMatrix:
+    @pytest.mark.parametrize(
+        "traffic,params",
+        [
+            ("hotspot", {"hotspot_fraction": 0.6}),
+            ("bursty", {"burst_len": 6.0}),
+            ("permutation", {}),
+            ("trimodal", {}),
+        ],
+    )
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_traffic_kinds(self, arch, traffic, params):
+        ref, vec = run_pair(
+            Scenario(arch, 8, 0.5, traffic=traffic, traffic_params=params, **RUN)
+        )
+        assert_identical(ref, vec)
+
+    def test_trace_traffic_scenario(self):
+        entries = [[s, s % 8, (3 * s + 1) % 8, 480] for s in range(60)]
+        ref, vec = run_pair(
+            Scenario(
+                "banyan",
+                8,
+                0.5,
+                traffic="trace",
+                traffic_params={"entries": entries},
+                arrival_slots=140,
+                warmup_slots=0,
+                seed=97,
+            )
+        )
+        assert_identical(ref, vec)
+        assert ref.delivered_cells == 60
+
+    def test_legacy_packet_generator(self):
+        """A generator that only implements arrivals() — and leaves
+        Packet.created_slot at its default 0 — must behave identically
+        through the from_packets adapter (created_slot drives both
+        arbitration order and latency)."""
+        from repro.router.packet import Packet
+        from repro.router.traffic import TrafficGenerator
+
+        class LegacyGenerator(TrafficGenerator):
+            def arrivals(self, slot, rng):
+                packets = []
+                draws = rng.random(self.ports)
+                for src in range(self.ports):
+                    if draws[src] < 0.6:
+                        packets.append(
+                            Packet.random(
+                                rng,
+                                packet_id=self._next_packet_id,
+                                src_port=src,
+                                dest_port=int(rng.integers(0, self.ports)),
+                                size_bits=480,
+                                bus_width=self.bus_width,
+                                # created_slot deliberately left at 0
+                            )
+                        )
+                        self._next_packet_id += 1
+                return packets
+
+        results = []
+        for engine_cls in (SimulationEngine, VectorizedEngine):
+            router = build_router("banyan", 8, traffic=LegacyGenerator(8, 32))
+            results.append(engine_cls(router, seed=7).run(100, warmup_slots=10))
+        assert_identical(*results)
+
+    def test_no_self_destinations(self):
+        results = []
+        for engine_cls in (SimulationEngine, VectorizedEngine):
+            router = build_router(
+                "crossbar",
+                8,
+                traffic=BernoulliUniformTraffic(8, 0.7, allow_self=False),
+            )
+            results.append(engine_cls(router, seed=11).run(120, warmup_slots=20))
+        assert_identical(*results)
+
+
+class TestConfigurationMatrix:
+    def test_dram_buffer_refresh(self):
+        ref, vec = run_pair(
+            Scenario("banyan", 8, 0.85, buffer_memory="dram", **RUN)
+        )
+        assert_identical(ref, vec)
+        assert ref.energy.refresh_j > 0
+
+    def test_bit_granularity_buffer(self):
+        ref, vec = run_pair(
+            Scenario(
+                "banyan", 8, 0.9, buffer_charge_granularity="bit", **RUN
+            )
+        )
+        assert_identical(ref, vec)
+
+    def test_small_node_buffers_backpressure(self):
+        ref, vec = run_pair(
+            Scenario("banyan", 8, 0.95, buffer_bits_per_switch=512, **RUN)
+        )
+        assert_identical(ref, vec)
+        assert ref.counters.get("buffer_full_stalls", 0) > 0
+
+    @pytest.mark.parametrize("cap", [2, 6])
+    def test_bounded_ingress_queues(self, cap):
+        ref, vec = run_pair(
+            Scenario("crossbar", 8, 0.95, ingress_queue_cells=cap, **RUN)
+        )
+        assert_identical(ref, vec)
+
+    def test_no_drain(self):
+        ref, vec = run_pair(Scenario("banyan", 8, 0.9, drain=False, **RUN))
+        assert_identical(ref, vec)
+        assert ref.ingress_backlog_cells > 0
+
+    def test_oldest_first_arbiter(self):
+        results = []
+        for engine_cls in (SimulationEngine, VectorizedEngine):
+            fabric = build_fabric("banyan", 8)
+            traffic = BernoulliUniformTraffic(8, 0.8)
+            router = NetworkRouter(
+                fabric, traffic, arbiter=OldestFirstArbiter(8)
+            )
+            results.append(engine_cls(router, seed=5).run(120, warmup_slots=20))
+        assert_identical(*results)
+
+    def test_wide_cells(self):
+        from repro.router.cells import CellFormat
+
+        ref, vec = run_pair(
+            Scenario("crossbar", 8, 0.6, bus_width=16, cell_words=8, **RUN)
+        )
+        assert_identical(ref, vec)
+
+
+class TestRouterStateMirroring:
+    def test_ingress_drop_stats_visible_after_run(self):
+        """Bounded-queue drops must show on router.ingress[*].stats for
+        both engines (post-run router inspection parity)."""
+        stats = {}
+        for engine_cls in (SimulationEngine, VectorizedEngine):
+            router = build_router(
+                "crossbar",
+                8,
+                traffic=BernoulliUniformTraffic(8, 0.95),
+                ingress_queue_cells=2,
+            )
+            engine_cls(router, seed=13).run(150, warmup_slots=0)
+            stats[engine_cls] = [
+                (u.stats.packets_in, u.stats.cells_dropped, u.stats.queue_peak)
+                for u in router.ingress
+            ]
+        assert stats[SimulationEngine] == stats[VectorizedEngine]
+        assert sum(d for _, d, _ in stats[VectorizedEngine]) > 0
+
+    def test_egress_stats_and_incomplete_visible_after_run(self):
+        from repro.router.traffic import TrimodalPacketTraffic
+
+        fields = {}
+        for engine_cls in (SimulationEngine, VectorizedEngine):
+            router = build_router(
+                "crossbar", 8, traffic=TrimodalPacketTraffic(8, 0.9)
+            )
+            engine_cls(router, seed=17).run(
+                60, warmup_slots=0, drain=False
+            )
+            egress = router.egress
+            fields[engine_cls] = (
+                egress.stats.cells_delivered,
+                egress.stats.payload_bits_delivered,
+                egress.stats.packets_completed,
+                egress.incomplete_packets,
+                egress.latency_stats(),
+                egress.throughput,
+            )
+        assert fields[SimulationEngine] == fields[VectorizedEngine]
+        assert fields[VectorizedEngine][3] > 0  # reassemblies in flight
+
+    def test_bad_source_port_raises(self):
+        from repro.router.packet import Packet
+        from repro.router.traffic import TrafficGenerator
+
+        class BrokenGenerator(TrafficGenerator):
+            def arrivals(self, slot, rng):
+                return [
+                    Packet.random(
+                        rng, packet_id=0, src_port=0, dest_port=1,
+                        size_bits=480, bus_width=32,
+                    ).__class__(
+                        packet_id=0, src_port=9, dest_port=1,
+                        payload_words=[], size_bits=0,
+                    )
+                ]
+
+        router = build_router("crossbar", 4, traffic=BrokenGenerator(4, 32))
+        engine = VectorizedEngine(router, seed=1)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            engine.run(5)
+
+
+class TestUnsupportedConfigurations:
+    def test_voq_router_rejected(self):
+        fabric = build_fabric("crossbar", 4)
+        router = VoqNetworkRouter(fabric, BernoulliUniformTraffic(4, 0.5))
+        with pytest.raises(ConfigurationError, match="reference"):
+            VectorizedEngine(router)
+        # The reference engine still runs it.
+        result = SimulationEngine(router, seed=1).run(40)
+        assert result.delivered_cells > 0
+
+    def test_custom_fabric_rejected(self):
+        from repro.fabrics.crossbar import CrossbarFabric
+
+        class MyFabric(CrossbarFabric):
+            architecture = "custom"
+
+        fabric = MyFabric.with_default_models(4)
+        router = NetworkRouter(fabric, BernoulliUniformTraffic(4, 0.5))
+        with pytest.raises(ConfigurationError, match="reference"):
+            VectorizedEngine(router)
+
+    def test_unknown_engine_name(self):
+        router = build_router("crossbar", 4)
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            create_engine(router, engine="simd")
+
+
+class TestEngineFactory:
+    def test_create_engine_dispatch(self):
+        assert isinstance(
+            create_engine(build_router("crossbar", 4), engine="reference"),
+            SimulationEngine,
+        )
+        assert isinstance(
+            create_engine(build_router("crossbar", 4), engine="vectorized"),
+            VectorizedEngine,
+        )
+
+    def test_scenario_engine_round_trips(self):
+        scenario = Scenario("banyan", 8, 0.3, engine="reference")
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_scenario_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError, match="engine"):
+            Scenario("banyan", 8, 0.3, engine="warp")
