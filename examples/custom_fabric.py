@@ -128,6 +128,37 @@ def main() -> None:
     print("whether that wins overall depends on the embedder's wire cost —")
     print("exactly the architectural trade-off the framework quantifies.")
 
+    # Registering the fabric makes it a first-class architecture name:
+    # Scenario validation, the CLI's --arch, and build_fabric all accept
+    # it.  Without a vector_core the registry marks it reference-only
+    # (engine="vectorized" explains what to register); pass one to run
+    # it on the vectorized engine too.
+    from repro.api import PowerModel, Scenario
+    from repro.fabrics.registry import register_fabric, unregister_fabric
+
+    register_fabric(
+        "dual_plane_crossbar",
+        DualPlaneCrossbar,
+        models_factory=lambda n, tech: EnergyModelSet(
+            switch=SwitchEnergyLUT.crossbar_crosspoint(),
+            wire=WireModel(tech),
+        ),
+        description="two half-loaded crossbar planes",
+    )
+    try:
+        record = PowerModel().simulate(
+            Scenario(
+                "dual_plane_crossbar", ports, load,
+                engine="reference", arrival_slots=600, warmup_slots=120,
+                seed=21,
+            )
+        )
+        print()
+        print(f"via the registry + Scenario API: "
+              f"{to_mW(record.total_power_w):.3f} mW")
+    finally:
+        unregister_fabric("dual_plane_crossbar")
+
 
 if __name__ == "__main__":
     main()

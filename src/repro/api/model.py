@@ -30,11 +30,13 @@ from repro.core.bit_energy import (
     SwitchEnergyLUT,
 )
 from repro.core.estimator import (
+    ARCHITECTURES,
     canonical_architecture,
     compute_estimate,
     default_estimator_buffer,
 )
 from repro.errors import ConfigurationError
+from repro.fabrics import registry
 from repro.fabrics.factory import default_models
 from repro.memmodel.buffers import banyan_buffer_model
 from repro.sim.engine import create_engine
@@ -300,16 +302,20 @@ class PowerModel:
 
         Same semantics as the legacy ``run_simulation`` (which now
         delegates here); ``router_kwargs`` forward to
-        :func:`repro.sim.runner.build_router`.  ``engine`` selects the
-        slot-loop implementation (``"vectorized"``, the default, or the
+        :func:`repro.sim.runner.build_router` (e.g. ``queueing="voq"``,
+        ``islip_iterations``).  ``engine`` selects the slot-loop
+        implementation (``"vectorized"``, the default, or the
         object-based ``"reference"`` oracle) — both produce
-        bit-identical seeded results.
+        bit-identical seeded results.  Custom architectures registered
+        in :mod:`repro.fabrics.registry` simulate too; their default
+        models come from the registry entry instead of the session
+        cache.
         """
         from repro.sim.runner import build_router
 
-        arch = canonical_architecture(architecture)
+        arch = registry.canonical_architecture(architecture)
         mode = WireMode.parse(wire_mode)
-        if models is None:
+        if models is None and arch in ARCHITECTURES:
             buffer_opts = {
                 k: router_kwargs[k]
                 for k in _BUFFER_MODEL_KEYS
@@ -372,7 +378,7 @@ class PowerModel:
         result = self.simulation(
             scenario.architecture,
             scenario.ports,
-            load=scenario.load,
+            load=scenario.mean_load,
             arrival_slots=scenario.arrival_slots,
             warmup_slots=scenario.warmup_slots,
             seed=scenario.seed,
@@ -383,6 +389,8 @@ class PowerModel:
             traffic=scenario.build_traffic(),
             cell_format=scenario.cell_format,
             ingress_queue_cells=scenario.ingress_queue_cells,
+            queueing=scenario.queueing,
+            islip_iterations=scenario.islip_iterations,
             **kwargs,
         )
         return RunRecord.from_simulation(

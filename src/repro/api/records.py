@@ -39,7 +39,10 @@ CSV_COLUMNS = (
     "energy_per_bit_j",
     "tech",
     "wire_mode",
+    "engine",
+    "queueing",
     "seed",
+    "rng_stream",
     "elapsed_s",
 )
 
@@ -148,14 +151,23 @@ class RunRecord:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """Flat JSON-safe dict: headline numbers plus the scenario."""
+        """Flat JSON-safe dict: headline numbers plus the scenario.
+
+        ``load`` is always the scalar (mean) load so the column stays
+        numeric; a per-port vector additionally appears as
+        ``load_per_port`` (and, exactly, inside the nested scenario).
+        """
         tech = self.scenario.tech
+        vector = self.scenario.load if isinstance(
+            self.scenario.load, tuple
+        ) else None
         return {
             "name": self.name,
             "backend": self.backend,
             "architecture": self.architecture,
             "ports": self.ports,
-            "load": self.load,
+            "load": self.scenario.mean_load,
+            "load_per_port": list(vector) if vector is not None else None,
             "throughput": self.throughput,
             "total_power_w": self.total_power_w,
             "switch_power_w": self.switch_power_w,
@@ -165,6 +177,9 @@ class RunRecord:
             "tech": tech if isinstance(tech, str) else tech.name,
             "wire_mode": self.scenario.wire_mode.value,
             "seed": self.scenario.seed,
+            "rng_stream": self.scenario.rng_stream,
+            "engine": self.scenario.engine,
+            "queueing": self.scenario.queueing,
             "elapsed_s": self.elapsed_s,
             "scenario": self.scenario.to_dict(),
         }

@@ -26,10 +26,13 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.core.estimator import ARCHITECTURES, canonical_architecture
+from repro.core.estimator import ARCHITECTURES
 from repro.errors import ConfigurationError
+from repro.fabrics.registry import canonical_architecture, get_entry
 from repro.router.cells import CellFormat
 from repro.router.traffic import (
+    RNG_STREAMS,
+    per_port_loads,
     BernoulliUniformTraffic,
     BurstyTraffic,
     HotspotTraffic,
@@ -47,6 +50,9 @@ from repro.wire_modes import WireMode
 
 #: Valid values of :attr:`Scenario.backend`.
 BACKENDS = ("estimate", "simulate")
+
+#: Valid values of :attr:`Scenario.queueing`.
+QUEUEING_KINDS = ("fifo", "voq")
 
 #: Traffic generator constructors by scenario ``traffic`` name.
 TRAFFIC_KINDS = (
@@ -94,7 +100,9 @@ class Scenario:
     Attributes
     ----------
     architecture:
-        Fabric name; aliases are canonicalised at construction.
+        Fabric name; resolved through :mod:`repro.fabrics.registry`,
+        so aliases canonicalise and custom registered fabrics validate
+        like the built-ins.
     ports:
         Number of ingress (= egress) ports.
     load:
@@ -102,7 +110,10 @@ class Scenario:
         the offered load (cells per port-slot); for the analytical
         backend it is the egress throughput the closed forms assume.
         One name, one axis — the ``throughput`` vs ``load`` split of the
-        legacy entry points is gone.
+        legacy entry points is gone.  The simulated backend also
+        accepts a per-port vector (one load per ingress port, stored as
+        a tuple); ``bursty`` traffic and the analytical backend need a
+        scalar.
     backend:
         ``"simulate"`` (bit-accurate, default) or ``"estimate"``
         (closed-form).  :meth:`repro.api.PowerModel.run` dispatches on
@@ -112,6 +123,18 @@ class Scenario:
         ``"vectorized"`` (array-based, default) or ``"reference"``
         (the object-based oracle).  Both produce bit-identical seeded
         results; the analytical backend ignores this field.
+    queueing:
+        Input discipline for the simulated backend: ``"fifo"`` (the
+        paper's HOL-blocked input queues, default) or ``"voq"``
+        (per-destination virtual output queues matched by iSLIP).
+    islip_iterations:
+        iSLIP match iterations per slot (VOQ only; K >= 1).
+    rng_stream:
+        RNG-consumption contract version: 1 (slot-at-a-time, default —
+        bit-stable with all previously recorded seeds) or 2 (chunked
+        cross-slot pregeneration — faster on long runs, a different
+        equally-valid workload per seed).  Part of
+        :meth:`content_hash`, so cached v1/v2 results never mix.
     tech:
         Technology node: a preset name (``"0.18um"``) or a
         :class:`~repro.tech.Technology` instance (serialised by value
@@ -145,9 +168,12 @@ class Scenario:
 
     architecture: str
     ports: int
-    load: float
+    load: float | tuple[float, ...]
     backend: str = "simulate"
     engine: str = "vectorized"
+    queueing: str = "fifo"
+    islip_iterations: int = 1
+    rng_stream: int = 1
     tech: str | Technology = "0.18um"
     wire_mode: WireMode = WireMode.WORST_CASE
     flip_fraction: float = 0.5
@@ -185,10 +211,36 @@ class Scenario:
             raise ConfigurationError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
+        if self.queueing not in QUEUEING_KINDS:
+            raise ConfigurationError(
+                f"queueing must be one of {QUEUEING_KINDS}, "
+                f"got {self.queueing!r}"
+            )
+        if self.islip_iterations < 1:
+            raise ConfigurationError("islip_iterations must be >= 1")
+        if self.queueing != "voq" and self.islip_iterations != 1:
+            raise ConfigurationError(
+                "islip_iterations is a VOQ parameter; set queueing='voq'"
+            )
+        if self.rng_stream not in RNG_STREAMS:
+            raise ConfigurationError(
+                f"rng_stream must be one of {RNG_STREAMS}, "
+                f"got {self.rng_stream!r}"
+            )
         if self.ports < 2:
             raise ConfigurationError("a scenario needs at least 2 ports")
-        if not 0.0 <= self.load <= 1.0:
-            raise ConfigurationError(f"load must be in [0, 1], got {self.load}")
+        if isinstance(self.load, (list, tuple)):
+            object.__setattr__(
+                self, "load", tuple(float(value) for value in self.load)
+            )
+            if self.traffic == "bursty":
+                raise ConfigurationError(
+                    "bursty traffic needs a scalar load "
+                    "(its on/off calibration is per-process)"
+                )
+        # Shared scalar/vector validation (length + [0, 1] range) —
+        # the same rules the traffic layer enforces at build time.
+        per_port_loads(self.load, self.ports)
         if not 0.0 <= self.flip_fraction <= 1.0:
             raise ConfigurationError("flip_fraction must be in [0, 1]")
         if self.traffic not in TRAFFIC_KINDS:
@@ -196,12 +248,28 @@ class Scenario:
                 f"unknown traffic {self.traffic!r}; expected one of "
                 f"{TRAFFIC_KINDS}"
             )
-        if self.backend == "estimate" and self.traffic != "bernoulli":
-            raise ConfigurationError(
-                f"traffic {self.traffic!r} is simulate-only: the "
-                "analytical backend models Bernoulli arrivals "
-                "(use backend='simulate' for this workload)"
-            )
+        if self.backend == "estimate":
+            if self.traffic != "bernoulli":
+                raise ConfigurationError(
+                    f"traffic {self.traffic!r} is simulate-only: the "
+                    "analytical backend models Bernoulli arrivals "
+                    "(use backend='simulate' for this workload)"
+                )
+            if isinstance(self.load, tuple):
+                raise ConfigurationError(
+                    "per-port load vectors are simulate-only: the "
+                    "analytical backend assumes one uniform load"
+                )
+            if self.queueing != "fifo":
+                raise ConfigurationError(
+                    "queueing='voq' is simulate-only: the analytical "
+                    "backend models the paper's FIFO input queues"
+                )
+            if not get_entry(self.architecture).analytical:
+                raise ConfigurationError(
+                    f"architecture {self.architecture!r} has no closed "
+                    "forms; use backend='simulate'"
+                )
         if self.arrival_slots < 1:
             raise ConfigurationError("arrival_slots must be >= 1")
         if self.warmup_slots < 0:
@@ -231,17 +299,29 @@ class Scenario:
         return CellFormat(bus_width=self.bus_width, words=self.cell_words)
 
     @property
+    def mean_load(self) -> float:
+        """The load as one scalar (mean of a per-port vector)."""
+        if isinstance(self.load, tuple):
+            return sum(self.load) / len(self.load)
+        return self.load
+
+    @property
     def label(self) -> str:
         """Report label: the explicit name or a synthesised one."""
         if self.name:
             return self.name
         return (
             f"{self.architecture}-{self.ports}x{self.ports}"
-            f"@{self.load:.2f}-{self.backend}"
+            f"@{self.mean_load:.2f}-{self.backend}"
         )
 
     def build_traffic(self) -> TrafficGenerator:
-        """Instantiate this scenario's traffic generator."""
+        """Instantiate this scenario's traffic generator (with this
+        scenario's RNG stream version selected)."""
+        generator = self._build_traffic()
+        return generator.use_rng_stream(self.rng_stream)
+
+    def _build_traffic(self) -> TrafficGenerator:
         fmt = self.cell_format
         params = dict(self.traffic_params)
         if self.traffic == "trace":
@@ -263,9 +343,10 @@ class Scenario:
                     f"size_bits]): {exc}"
                 ) from exc
             return TraceTraffic(self.ports, parsed, bus_width=self.bus_width)
+        load = list(self.load) if isinstance(self.load, tuple) else self.load
         common = dict(
             ports=self.ports,
-            load=self.load,
+            load=load,
             bus_width=self.bus_width,
         )
         if self.traffic == "bernoulli":
@@ -323,6 +404,8 @@ class Scenario:
                     value = dataclasses.asdict(value)
             elif f.name == "traffic_params":
                 value = {k: _thaw_value(v) for k, v in value}
+            elif f.name == "load" and isinstance(value, tuple):
+                value = list(value)
             out[f.name] = value
         return out
 

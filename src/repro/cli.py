@@ -33,8 +33,8 @@ import sys
 
 from repro.analysis.report import format_table
 from repro.core import tables
-from repro.core.estimator import ARCHITECTURES
 from repro.errors import ConfigurationError, ReproError
+from repro.fabrics.registry import registered_architectures
 from repro.tech.presets import PRESETS as TECH_PRESETS
 from repro.units import to_mW, to_pJ
 from repro.wire_modes import WireMode
@@ -59,7 +59,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--arch",
         default="crossbar",
-        help=f"architecture: one of {', '.join(ARCHITECTURES)} (or aliases)",
+        help="architecture: one of "
+        f"{', '.join(registered_architectures())} (aliases and custom "
+        "registry entries accepted)",
     )
     parser.add_argument("--ports", type=int, default=16, help="port count")
     parser.add_argument(
@@ -94,6 +96,20 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--slots", type=int, default=1000, help="arrival slots")
     sim.add_argument("--warmup", type=int, default=200)
     sim.add_argument("--seed", type=int, default=12345)
+    sim.add_argument(
+        "--queueing",
+        choices=("fifo", "voq"),
+        default="fifo",
+        help="input discipline: the paper's FIFO queues or "
+        "VOQ + iSLIP matching",
+    )
+    sim.add_argument(
+        "--islip-iterations",
+        type=int,
+        default=1,
+        metavar="K",
+        help="iSLIP iterations per slot (with --queueing voq)",
+    )
     _add_engine(sim)
 
     sweep = sub.add_parser("sweep", help="throughput sweep (Fig. 9 style)")
@@ -132,6 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL result cache keyed by scenario content hash; "
         "already-measured scenarios are served from it and fresh "
         "results appended",
+    )
+    batch.add_argument(
+        "--rng-stream",
+        type=int,
+        choices=(1, 2),
+        default=None,
+        help="override every scenario's RNG-consumption contract: "
+        "1 = slot-at-a-time (bit-stable with old seeds), 2 = chunked "
+        "pregeneration (faster long runs).  The version is part of the "
+        "scenario content hash, so cached v1/v2 results never mix",
     )
     batch.add_argument(
         "--format",
@@ -185,6 +211,8 @@ def cmd_simulate(args) -> int:
         load=args.load,
         backend="simulate",
         engine=args.engine,
+        queueing=args.queueing,
+        islip_iterations=args.islip_iterations,
         tech=args.tech,
         wire_mode=args.wire_mode,
         arrival_slots=args.slots,
@@ -247,6 +275,10 @@ def cmd_batch(args) -> int:
             f"cannot read scenario file {args.scenarios!r}: {exc}"
         ) from exc
     scenarios = load_scenarios(text)
+    if args.rng_stream is not None:
+        scenarios = [
+            s.replace(rng_stream=args.rng_stream) for s in scenarios
+        ]
     store = None
     if args.cache:
         from repro.api.store import RunRecordStore

@@ -21,6 +21,14 @@ from repro.fabrics.fully_connected import FullyConnectedFabric
 from repro.fabrics.banyan import BanyanFabric
 from repro.fabrics.batcher_banyan import BatcherBanyanFabric
 from repro.fabrics.factory import build_fabric, default_models
+from repro.fabrics.registry import (
+    FabricEntry,
+    canonical_architecture,
+    get_entry,
+    register_fabric,
+    registered_architectures,
+    unregister_fabric,
+)
 
 __all__ = [
     "SwitchFabric",
@@ -30,4 +38,10 @@ __all__ = [
     "BatcherBanyanFabric",
     "build_fabric",
     "default_models",
+    "FabricEntry",
+    "register_fabric",
+    "unregister_fabric",
+    "registered_architectures",
+    "canonical_architecture",
+    "get_entry",
 ]

@@ -8,7 +8,7 @@ from repro.core.bit_energy import (
     MuxEnergyLUT,
     SwitchEnergyLUT,
 )
-from repro.core.estimator import canonical_architecture
+from repro.core.estimator import ARCHITECTURES, canonical_architecture
 from repro.errors import ConfigurationError
 from repro.memmodel.buffers import banyan_buffer_model
 from repro.router.cells import CellFormat
@@ -85,17 +85,19 @@ def build_fabric(
     models: EnergyModelSet | None = None,
     **fabric_kwargs,
 ):
-    """Construct any of the four fabrics with default or custom models.
+    """Construct any registered fabric with default or custom models.
 
-    Extra keyword arguments go to the fabric constructor (e.g.
-    ``buffer_cells_per_switch`` for the banyan).
+    The architecture resolves through
+    :mod:`repro.fabrics.registry`, so custom fabrics registered with
+    :func:`~repro.fabrics.registry.register_fabric` build here exactly
+    like the built-ins (their default models come from the entry's
+    ``models_factory``).  Extra keyword arguments go to the fabric
+    constructor (e.g. ``buffer_cells_per_switch`` for the banyan).
     """
-    from repro.fabrics.banyan import BanyanFabric
-    from repro.fabrics.batcher_banyan import BatcherBanyanFabric
-    from repro.fabrics.crossbar import CrossbarFabric
-    from repro.fabrics.fully_connected import FullyConnectedFabric
+    from repro.fabrics.registry import get_entry
 
-    arch = canonical_architecture(architecture)
+    entry = get_entry(architecture)
+    arch = entry.name
     cell_format = cell_format or CellFormat()
     if arch == "banyan":
         buffer_kwargs = {}
@@ -121,14 +123,16 @@ def build_fabric(
                 1, queue_bits // cell_format.cell_bits
             )
     elif models is None:
-        models = default_models(arch, ports, tech)
-    classes = {
-        "crossbar": CrossbarFabric,
-        "fully_connected": FullyConnectedFabric,
-        "banyan": BanyanFabric,
-        "batcher_banyan": BatcherBanyanFabric,
-    }
-    fabric_cls = classes[arch]
+        if entry.models_factory is not None:
+            models = entry.models_factory(ports, tech)
+        elif arch in ARCHITECTURES:
+            models = default_models(arch, ports, tech)
+        else:
+            raise ConfigurationError(
+                f"architecture {arch!r} was registered without a "
+                "models_factory; pass models=... explicitly"
+            )
+    fabric_cls = entry.fabric_cls
     return fabric_cls(
         ports,
         models,

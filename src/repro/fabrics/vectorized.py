@@ -659,8 +659,9 @@ class BatcherBanyanCore(VectorFabricCore):
         return delivered
 
 
-#: Exact fabric type -> vector core; subclasses with overridden dynamics
-#: must not silently match, hence no isinstance dispatch.
+#: Exact fabric type -> vector core for the built-ins.  Kept as a
+#: stable alias; the full dispatch table (including custom fabrics)
+#: lives in :mod:`repro.fabrics.registry`.
 CORE_TYPES = {
     CrossbarFabric: CrossbarCore,
     FullyConnectedFabric: FullyConnectedCore,
@@ -670,11 +671,22 @@ CORE_TYPES = {
 
 
 def make_vector_core(fabric, store: CellStore) -> VectorFabricCore:
-    """The vector core matching a fabric instance (exact type dispatch)."""
-    core_cls = CORE_TYPES.get(type(fabric))
+    """The registered vector core matching a fabric instance.
+
+    Dispatch is by exact fabric type through
+    :func:`repro.fabrics.registry.vector_core_for`, so subclasses with
+    overridden dynamics never silently match a parent's core — register
+    their own entry instead.
+    """
+    from repro.fabrics.registry import vector_core_for, vector_core_summary
+
+    core_cls = vector_core_for(fabric)
     if core_cls is None:
         raise ConfigurationError(
-            f"no vectorized core for fabric type {type(fabric).__name__}; "
-            "use engine='reference' for custom fabrics"
+            f"no vectorized core registered for fabric type "
+            f"{type(fabric).__name__}; registered architectures: "
+            f"{vector_core_summary()}. Register one with "
+            "repro.fabrics.registry.register_fabric(..., vector_core=...) "
+            "or use engine='reference'"
         )
     return core_cls(fabric, store)

@@ -19,6 +19,31 @@ single concatenated payload-word array — per slot.  The legacy
 is a thin wrapper that materialises the batch, so the object-based
 reference engine and the array-based vectorized engine consume exactly
 the same random stream and therefore see exactly the same workload.
+
+RNG-consumption contract
+------------------------
+*How* a generator draws from the engine's seeded RNG is versioned,
+because any change to the draw order silently changes every seeded
+result:
+
+* **Stream v1** (:data:`RNG_STREAM_V1`, the default) draws one slot at
+  a time — the contract of the original engines, kept bit-stable
+  forever as the oracle for old seeds.
+* **Stream v2** (:data:`RNG_STREAM_V2`, opt-in via
+  :meth:`TrafficGenerator.use_rng_stream` or
+  ``Scenario(rng_stream=2)``) pregenerates
+  :data:`RNG_STREAM_V2_CHUNK_SLOTS` slots of arrivals per chunk — the
+  arrival mask, destinations, sizes and all payload words each come
+  from one big draw — and serves per-slot slices from the chunk.  The
+  chunk length is part of the contract (changing it changes the
+  stream).  v2 produces a *different* (equally valid) workload than v1
+  for the same seed; within a version, both engines still consume
+  identically, so reference-vs-vectorized equivalence holds per stream.
+
+``load`` may be a per-port vector (one arrival probability per ingress
+port) anywhere a Bernoulli-thinned generator accepts a scalar;
+:data:`BurstyTraffic` is the exception (its on/off calibration needs a
+scalar).
 """
 
 from __future__ import annotations
@@ -30,6 +55,40 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.router.packet import Packet, bus_mask
+
+#: Slot-at-a-time RNG consumption (the original engines' contract).
+RNG_STREAM_V1 = 1
+#: Chunked consumption: arrivals pregenerated C slots at a time.
+RNG_STREAM_V2 = 2
+#: All valid RNG stream versions.
+RNG_STREAMS = (RNG_STREAM_V1, RNG_STREAM_V2)
+#: Chunk length C of stream v2 — part of the versioned contract.
+RNG_STREAM_V2_CHUNK_SLOTS = 64
+
+
+def per_port_loads(load, ports: int) -> tuple[float, np.ndarray]:
+    """Normalise a scalar or per-port load to ``(mean, vector)``.
+
+    A scalar expands to a uniform vector; a sequence must have one
+    entry per port, each in [0, 1].  The scalar mean is what
+    result records report as the offered load.
+    """
+    array = np.asarray(load, dtype=float)
+    if array.ndim == 0:
+        value = float(array)
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(f"load must be in [0, 1], got {load}")
+        return value, np.full(ports, value)
+    if array.ndim != 1 or array.size != ports:
+        raise ConfigurationError(
+            f"per-port load vector needs exactly {ports} entries, "
+            f"got shape {array.shape}"
+        )
+    if float(array.min()) < 0.0 or float(array.max()) > 1.0:
+        raise ConfigurationError(
+            f"per-port loads must be in [0, 1], got {list(array)}"
+        )
+    return float(array.mean()), array
 
 
 def draw_payload_batch(
@@ -173,9 +232,17 @@ class ArrivalBatch:
 class TrafficGenerator(ABC):
     """Produces the packets arriving at each ingress port every slot.
 
-    Subclasses implement :meth:`arrivals_batch` (preferred — it is the
-    single RNG-consuming primitive) or the legacy :meth:`arrivals`;
-    each default-delegates to the other.
+    Subclasses implement :meth:`_slot_batch` (preferred — the per-slot
+    RNG primitive of stream v1) or the legacy :meth:`arrivals`; each
+    default-delegates to the other.  :meth:`arrivals_batch` is the
+    engine-facing entry point: it dispatches on the generator's RNG
+    stream version (per-slot draws for v1, chunked pregeneration for
+    v2).  Generators that additionally implement :meth:`_plan_chunk`
+    get truly chunked v2 draws; the rest fall back to per-slot draws
+    inside the chunk (still a valid v2 stream — just not faster).
+
+    A subclass that overrides :meth:`arrivals_batch` itself defines its
+    own consumption contract and opts out of stream versioning.
     """
 
     def __init__(self, ports: int, bus_width: int) -> None:
@@ -184,21 +251,120 @@ class TrafficGenerator(ABC):
         self.ports = ports
         self.bus_width = bus_width
         self._next_packet_id = 0
+        self.rng_stream = RNG_STREAM_V1
+        self._chunk_slots = RNG_STREAM_V2_CHUNK_SLOTS
+        self._chunk: list[ArrivalBatch] | None = None
+        self._chunk_start = 0
+
+    def use_rng_stream(
+        self, version: int, chunk_slots: int | None = None
+    ) -> "TrafficGenerator":
+        """Select the RNG-consumption contract; returns ``self``.
+
+        ``chunk_slots`` overrides the v2 chunk length — doing so leaves
+        the versioned contract (the stream then matches no recorded v2
+        seed), so it is for experimentation only.
+        """
+        if version not in RNG_STREAMS:
+            raise ConfigurationError(
+                f"rng_stream must be one of {RNG_STREAMS}, got {version!r}"
+            )
+        if chunk_slots is not None and chunk_slots < 1:
+            raise ConfigurationError("chunk_slots must be >= 1")
+        self.rng_stream = version
+        if chunk_slots is not None:
+            self._chunk_slots = chunk_slots
+        self._chunk = None
+        return self
 
     def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
         """Packets arriving during ``slot`` (any ports, any count)."""
         return self.arrivals_batch(slot, rng).to_packets()
 
     def arrivals_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
-        """Arrivals of one slot as an :class:`ArrivalBatch`."""
+        """Arrivals of one slot as an :class:`ArrivalBatch`.
+
+        The single RNG-consuming entry point of both engines; draws
+        according to the generator's stream version (see the module
+        docstring).  Slots must be consumed in nondecreasing order
+        under stream v2 (the engines always do).
+        """
+        if self.rng_stream == RNG_STREAM_V1:
+            return self._slot_batch(slot, rng)
+        chunk = self._chunk
+        if chunk is None or not (
+            self._chunk_start <= slot < self._chunk_start + len(chunk)
+        ):
+            self._chunk = chunk = self._pregenerate_chunk(
+                slot, self._chunk_slots, rng
+            )
+            self._chunk_start = slot
+        return chunk[slot - self._chunk_start]
+
+    def _slot_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
+        """One slot's arrivals drawn slot-at-a-time (stream v1)."""
         if type(self).arrivals is TrafficGenerator.arrivals:
             raise ConfigurationError(
                 f"{type(self).__name__} implements neither arrivals() nor "
-                "arrivals_batch()"
+                "_slot_batch()"
             )
         return ArrivalBatch.from_packets(
             slot, self.bus_width, self.arrivals(slot, rng)
         )
+
+    # ------------------------------------------------------------------
+    # Stream v2: chunked pregeneration
+    # ------------------------------------------------------------------
+
+    def _plan_chunk(
+        self, start: int, count: int, rng: np.random.Generator
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]] | None:
+        """Chunked arrival plan: ``count`` per-slot ``(srcs, dests,
+        size_bits)`` triples drawn in as few RNG calls as possible.
+
+        Return ``None`` (the default) to fall back to per-slot draws.
+        """
+        return None
+
+    def _pregenerate_chunk(
+        self, start: int, count: int, rng: np.random.Generator
+    ) -> list[ArrivalBatch]:
+        """Materialise one stream-v2 chunk of per-slot batches.
+
+        All payload words of the chunk come from **one**
+        :func:`draw_payload_batch` call; per-slot batches are views
+        into the shared arrays.
+        """
+        plan = self._plan_chunk(start, count, rng)
+        bus_width = self.bus_width
+        if plan is None:
+            return [self._slot_batch(start + i, rng) for i in range(count)]
+        sizes_all = np.concatenate([sizes for _, _, sizes in plan])
+        payload, offsets = draw_payload_batch(rng, sizes_all, bus_width)
+        batches: list[ArrivalBatch] = []
+        k = 0
+        for i, (srcs, dests, sizes) in enumerate(plan):
+            n = int(srcs.size)
+            if n == 0:
+                batches.append(ArrivalBatch.empty(start + i, bus_width))
+                continue
+            word_offsets = (offsets[k : k + n + 1] - offsets[k]).astype(
+                np.int64
+            )
+            batches.append(
+                ArrivalBatch(
+                    created_slot=start + i,
+                    bus_width=bus_width,
+                    srcs=np.asarray(srcs, dtype=np.int64),
+                    dests=np.asarray(dests, dtype=np.int64),
+                    size_bits=np.asarray(sizes, dtype=np.int64),
+                    packet_ids=self._claim_packet_ids(n),
+                    payload_words=payload[offsets[k] : offsets[k + n]],
+                    word_offsets=word_offsets,
+                )
+            )
+            k += n
+        return batches
 
     # ------------------------------------------------------------------
 
@@ -263,7 +429,9 @@ class BernoulliUniformTraffic(TrafficGenerator):
 
     Parameters
     ----------
-    load: arrival probability per port per slot, in [0, 1].
+    load: arrival probability per port per slot, in [0, 1] — a scalar
+        for the paper's uniform offered load, or one value per port
+        (``self.load`` then reports the mean).
     packet_bits: payload size of each packet.
     allow_self: include a port's own index among destinations
         (default True — the paper does not exclude it).
@@ -272,17 +440,15 @@ class BernoulliUniformTraffic(TrafficGenerator):
     def __init__(
         self,
         ports: int,
-        load: float,
+        load: float | list[float],
         packet_bits: int = 480,
         bus_width: int = 32,
         allow_self: bool = True,
     ) -> None:
         super().__init__(ports, bus_width)
-        if not 0.0 <= load <= 1.0:
-            raise ConfigurationError(f"load must be in [0, 1], got {load}")
+        self.load, self._load_per_port = per_port_loads(load, ports)
         if packet_bits < 0:
             raise ConfigurationError("packet_bits must be >= 0")
-        self.load = load
         self.packet_bits = packet_bits
         self.allow_self = allow_self
 
@@ -298,14 +464,40 @@ class BernoulliUniformTraffic(TrafficGenerator):
                 dests[bad] = rng.integers(0, self.ports, size=bad.size)
         return dests
 
-    def arrivals_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
+    def _slot_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
         draws = rng.random(self.ports)
-        srcs = np.flatnonzero(draws < self.load)
+        srcs = np.flatnonzero(draws < self._load_per_port)
         if srcs.size == 0:
             return ArrivalBatch.empty(slot, self.bus_width)
         dests = self._draw_dests(rng, srcs)
         sizes = np.full(srcs.size, self.packet_bits, dtype=np.int64)
         return self._batch(slot, rng, srcs, dests, sizes)
+
+    def _plan_chunk(self, start, count, rng):
+        # One draw for the whole chunk's arrival mask, then one
+        # destination draw over every arrival of the chunk.
+        mask = rng.random((count, self.ports)) < self._load_per_port[None, :]
+        srcs_by_slot = [np.flatnonzero(mask[i]) for i in range(count)]
+        total = int(mask.sum())
+        if total:
+            dests_all = self._draw_dests(rng, np.concatenate(srcs_by_slot))
+        plan = []
+        k = 0
+        empty = np.zeros(0, dtype=np.int64)
+        for srcs in srcs_by_slot:
+            n = srcs.size
+            if n == 0:
+                plan.append((empty, empty, empty))
+                continue
+            plan.append(
+                (
+                    srcs,
+                    dests_all[k : k + n],
+                    np.full(n, self.packet_bits, dtype=np.int64),
+                )
+            )
+            k += n
+        return plan
 
 
 class HotspotTraffic(BernoulliUniformTraffic):
@@ -354,31 +546,49 @@ class PermutationTraffic(TrafficGenerator):
     def __init__(
         self,
         ports: int,
-        load: float,
+        load: float | list[float],
         permutation: list[int] | None = None,
         packet_bits: int = 480,
         bus_width: int = 32,
     ) -> None:
         super().__init__(ports, bus_width)
-        if not 0.0 <= load <= 1.0:
-            raise ConfigurationError(f"load must be in [0, 1], got {load}")
+        self.load, self._load_per_port = per_port_loads(load, ports)
         if permutation is None:
             permutation = [(p + 1) % ports for p in range(ports)]
         if sorted(permutation) != list(range(ports)):
             raise ConfigurationError("permutation must be a bijection on ports")
-        self.load = load
         self.permutation = list(permutation)
         self._permutation_array = np.array(permutation, dtype=np.int64)
         self.packet_bits = packet_bits
 
-    def arrivals_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
+    def _slot_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
         draws = rng.random(self.ports)
-        srcs = np.flatnonzero(draws < self.load)
+        srcs = np.flatnonzero(draws < self._load_per_port)
         if srcs.size == 0:
             return ArrivalBatch.empty(slot, self.bus_width)
         dests = self._permutation_array[srcs]
         sizes = np.full(srcs.size, self.packet_bits, dtype=np.int64)
         return self._batch(slot, rng, srcs, dests, sizes)
+
+    def _plan_chunk(self, start, count, rng):
+        # Destinations are deterministic, so the arrival mask is the
+        # chunk's only selection draw.
+        mask = rng.random((count, self.ports)) < self._load_per_port[None, :]
+        plan = []
+        empty = np.zeros(0, dtype=np.int64)
+        for i in range(count):
+            srcs = np.flatnonzero(mask[i])
+            if srcs.size == 0:
+                plan.append((empty, empty, empty))
+                continue
+            plan.append(
+                (
+                    srcs,
+                    self._permutation_array[srcs],
+                    np.full(srcs.size, self.packet_bits, dtype=np.int64),
+                )
+            )
+        return plan
 
 
 class BurstyTraffic(TrafficGenerator):
@@ -400,6 +610,12 @@ class BurstyTraffic(TrafficGenerator):
         bus_width: int = 32,
     ) -> None:
         super().__init__(ports, bus_width)
+        if np.ndim(load) != 0:
+            raise ConfigurationError(
+                "bursty traffic needs a scalar load (its on/off dwell "
+                "calibration is per-process, not per-port)"
+            )
+        load = float(load)
         if not 0.0 < load < 1.0:
             raise ConfigurationError("bursty load must be in (0, 1)")
         if burst_len < 1.0:
@@ -414,7 +630,7 @@ class BurstyTraffic(TrafficGenerator):
         self._p_on = 1.0 / off_dwell
         self._state: np.ndarray | None = None
 
-    def arrivals_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
+    def _slot_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
         if self._state is None:
             self._state = rng.random(self.ports) < self.load
         flips = rng.random(self.ports)
@@ -427,6 +643,39 @@ class BurstyTraffic(TrafficGenerator):
         dests = rng.integers(0, self.ports, size=srcs.size)
         sizes = np.full(srcs.size, self.packet_bits, dtype=np.int64)
         return self._batch(slot, rng, srcs, dests, sizes)
+
+    def _plan_chunk(self, start, count, rng):
+        # The Markov chain stays sequential, but all its flip draws (and
+        # every destination of the chunk) come from single RNG calls.
+        if self._state is None:
+            self._state = rng.random(self.ports) < self.load
+        flips = rng.random((count, self.ports))
+        state = self._state
+        srcs_by_slot = []
+        for i in range(count):
+            state = np.where(state, flips[i] >= self._p_off, flips[i] < self._p_on)
+            srcs_by_slot.append(np.flatnonzero(state))
+        self._state = state
+        total = sum(int(s.size) for s in srcs_by_slot)
+        if total:
+            dests_all = rng.integers(0, self.ports, size=total)
+        plan = []
+        k = 0
+        empty = np.zeros(0, dtype=np.int64)
+        for srcs in srcs_by_slot:
+            n = srcs.size
+            if n == 0:
+                plan.append((empty, empty, empty))
+                continue
+            plan.append(
+                (
+                    srcs,
+                    dests_all[k : k + n],
+                    np.full(n, self.packet_bits, dtype=np.int64),
+                )
+            )
+            k += n
+        return plan
 
 
 class TrimodalPacketTraffic(TrafficGenerator):
@@ -444,35 +693,34 @@ class TrimodalPacketTraffic(TrafficGenerator):
     def __init__(
         self,
         ports: int,
-        load: float,
+        load: float | list[float],
         mix: tuple[tuple[int, float], ...] = DEFAULT_MIX,
         cell_payload_bits: int = 480,
         bus_width: int = 32,
     ) -> None:
         super().__init__(ports, bus_width)
-        if not 0.0 <= load <= 1.0:
-            raise ConfigurationError(f"load must be in [0, 1], got {load}")
+        self.load, load_per_port = per_port_loads(load, ports)
         total_p = sum(p for _, p in mix)
         if abs(total_p - 1.0) > 1e-9:
             raise ConfigurationError("mix probabilities must sum to 1")
         if cell_payload_bits <= 0:
             raise ConfigurationError("cell_payload_bits must be positive")
-        self.load = load
         self.mix = tuple(mix)
         self.cell_payload_bits = cell_payload_bits
         self._sizes = np.array([s * 8 for s, _ in mix])
         self._probs = np.array([p for _, p in mix])
         cells_per_packet = np.ceil(self._sizes / cell_payload_bits)
         self._mean_cells = float((cells_per_packet * self._probs).sum())
+        self._rate_per_port = np.minimum(1.0, load_per_port / self._mean_cells)
 
     @property
     def packet_rate(self) -> float:
-        """Packet arrival probability per port per slot."""
+        """Mean packet arrival probability per port per slot."""
         return min(1.0, self.load / self._mean_cells)
 
-    def arrivals_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
+    def _slot_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
         draws = rng.random(self.ports)
-        srcs = np.flatnonzero(draws < self.packet_rate)
+        srcs = np.flatnonzero(draws < self._rate_per_port)
         if srcs.size == 0:
             return ArrivalBatch.empty(slot, self.bus_width)
         sizes = rng.choice(self._sizes, size=srcs.size, p=self._probs).astype(
@@ -480,6 +728,27 @@ class TrimodalPacketTraffic(TrafficGenerator):
         )
         dests = rng.integers(0, self.ports, size=srcs.size)
         return self._batch(slot, rng, srcs, dests, sizes)
+
+    def _plan_chunk(self, start, count, rng):
+        mask = rng.random((count, self.ports)) < self._rate_per_port[None, :]
+        srcs_by_slot = [np.flatnonzero(mask[i]) for i in range(count)]
+        total = int(mask.sum())
+        if total:
+            sizes_all = rng.choice(
+                self._sizes, size=total, p=self._probs
+            ).astype(np.int64)
+            dests_all = rng.integers(0, self.ports, size=total)
+        plan = []
+        k = 0
+        empty = np.zeros(0, dtype=np.int64)
+        for srcs in srcs_by_slot:
+            n = srcs.size
+            if n == 0:
+                plan.append((empty, empty, empty))
+                continue
+            plan.append((srcs, dests_all[k : k + n], sizes_all[k : k + n]))
+            k += n
+        return plan
 
 
 @dataclass(frozen=True)
@@ -507,7 +776,7 @@ class TraceTraffic(TrafficGenerator):
                 raise ConfigurationError(f"trace entry out of range: {entry}")
             self._by_slot.setdefault(entry.slot, []).append(entry)
 
-    def arrivals_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
+    def _slot_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
         entries = self._by_slot.get(slot)
         if not entries:
             return ArrivalBatch.empty(slot, self.bus_width)
@@ -515,3 +784,21 @@ class TraceTraffic(TrafficGenerator):
         dests = np.array([e.dest for e in entries], dtype=np.int64)
         sizes = np.array([e.size_bits for e in entries], dtype=np.int64)
         return self._batch(slot, rng, srcs, dests, sizes)
+
+    def _plan_chunk(self, start, count, rng):
+        # Arrivals are scripted; only the payload draw is chunked.
+        plan = []
+        empty = np.zeros(0, dtype=np.int64)
+        for i in range(count):
+            entries = self._by_slot.get(start + i)
+            if not entries:
+                plan.append((empty, empty, empty))
+                continue
+            plan.append(
+                (
+                    np.array([e.src for e in entries], dtype=np.int64),
+                    np.array([e.dest for e in entries], dtype=np.int64),
+                    np.array([e.size_bits for e in entries], dtype=np.int64),
+                )
+            )
+        return plan

@@ -118,27 +118,36 @@ class VoqIngressUnit:
 
 
 class IslipArbiter:
-    """Single-iteration iSLIP matching over VOQ state.
+    """Iterative iSLIP matching over VOQ state.
 
-    Per slot:
+    Per slot, for each of ``iterations`` rounds over the still-unmatched
+    ports:
 
-    1. **Request** — every input requests all outputs with a non-empty
-       VOQ (subject to fabric admission).
+    1. **Request** — every unmatched input requests all unmatched
+       outputs with a non-empty VOQ (subject to fabric admission).
     2. **Grant** — every requested output grants the requesting input
        closest (clockwise) to its grant pointer.
     3. **Accept** — every input holding grants accepts the output
        closest to its accept pointer.
-    4. Pointers move one *past* the matched partner, and **only** for
-       accepted matches — the iSLIP rule that desynchronises pointers
-       and yields near-100% uniform-traffic throughput.
+    4. Pointers move one *past* the matched partner, **only** for
+       accepted matches, and **only in the first iteration** — the
+       iSLIP rules that desynchronise pointers (near-100% uniform
+       throughput) while keeping later iterations starvation-free.
+
+    ``iterations=1`` is classic single-iteration iSLIP; ``K > 1`` fills
+    the match with ports left unmatched by earlier rounds (McKeown's
+    iSLIP-K), which matters most under hotspot/bursty contention.
     """
 
     name = "islip"
 
-    def __init__(self, ports: int) -> None:
+    def __init__(self, ports: int, iterations: int = 1) -> None:
         if ports < 2:
             raise ConfigurationError("arbiter needs >= 2 ports")
+        if iterations < 1:
+            raise ConfigurationError("iSLIP needs iterations >= 1")
         self.ports = ports
+        self.iterations = iterations
         self._grant_ptr = [0] * ports  # per output
         self._accept_ptr = [0] * ports  # per input
 
@@ -153,26 +162,37 @@ class IslipArbiter:
             for port, heads in requests.items()
             if heads and can_admit(port)
         }
-        # Grant phase.
-        grants: dict[int, list[int]] = {}  # input -> outputs granting it
-        for out in range(self.ports):
-            requesters = [
-                port for port, heads in eligible_inputs.items() if out in heads
-            ]
-            if not requesters:
-                continue
-            ptr = self._grant_ptr[out]
-            winner = min(requesters, key=lambda p: (p - ptr) % self.ports)
-            grants.setdefault(winner, []).append(out)
-        # Accept phase.
         matched: dict[int, tuple[int, Cell]] = {}
-        for port, outs in grants.items():
-            ptr = self._accept_ptr[port]
-            chosen = min(outs, key=lambda o: (o - ptr) % self.ports)
-            matched[port] = (chosen, eligible_inputs[port][chosen])
-            # iSLIP pointer update: one past the match, accepted only.
-            self._accept_ptr[port] = (chosen + 1) % self.ports
-            self._grant_ptr[chosen] = (port + 1) % self.ports
+        matched_outs: set[int] = set()
+        for iteration in range(self.iterations):
+            # Grant phase over the unmatched ports.
+            grants: dict[int, list[int]] = {}  # input -> granting outputs
+            for out in range(self.ports):
+                if out in matched_outs:
+                    continue
+                requesters = [
+                    port
+                    for port, heads in eligible_inputs.items()
+                    if port not in matched and out in heads
+                ]
+                if not requesters:
+                    continue
+                ptr = self._grant_ptr[out]
+                winner = min(requesters, key=lambda p: (p - ptr) % self.ports)
+                grants.setdefault(winner, []).append(out)
+            if not grants:
+                break
+            # Accept phase.
+            for port, outs in grants.items():
+                ptr = self._accept_ptr[port]
+                chosen = min(outs, key=lambda o: (o - ptr) % self.ports)
+                matched[port] = (chosen, eligible_inputs[port][chosen])
+                matched_outs.add(chosen)
+                # iSLIP pointer update: one past the match, accepted
+                # matches of the first iteration only.
+                if iteration == 0:
+                    self._accept_ptr[port] = (chosen + 1) % self.ports
+                    self._grant_ptr[chosen] = (port + 1) % self.ports
         return matched
 
 
@@ -190,6 +210,7 @@ class VoqNetworkRouter(NetworkRouter):
         traffic: TrafficGenerator,
         tech: Technology = TECH_180NM,
         ingress_queue_cells: int | None = None,
+        islip_iterations: int = 1,
     ) -> None:
         super().__init__(fabric, traffic, tech=tech)
         self.ingress = [
@@ -198,7 +219,7 @@ class VoqNetworkRouter(NetworkRouter):
             )
             for port in range(fabric.ports)
         ]
-        self.arbiter = IslipArbiter(fabric.ports)
+        self.arbiter = IslipArbiter(fabric.ports, iterations=islip_iterations)
 
     def arbitrate(self, slot: int) -> dict[int, Cell]:
         requests = {unit.port: unit.heads() for unit in self.ingress}

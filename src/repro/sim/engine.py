@@ -37,11 +37,14 @@ def create_engine(
     ``engine="vectorized"`` (default) returns the array-based
     :class:`~repro.sim.vector_engine.VectorizedEngine`, which produces
     bit-identical seeded results to ``engine="reference"`` (this
-    module's :class:`SimulationEngine`, the oracle) for every supported
-    router configuration, only faster.  Unsupported configurations
-    (VOQ routers, custom fabrics or arbiters) raise
-    :class:`~repro.errors.ConfigurationError` — pass
-    ``engine="reference"`` for those.
+    module's :class:`SimulationEngine`, the oracle) for every router
+    whose fabric has a vector core in
+    :mod:`repro.fabrics.registry` — the four built-ins plus any custom
+    fabric registered with ``vector_core=...`` — under FIFO or
+    VOQ/iSLIP queueing.  A fabric registered without a vector core (or
+    an unregistered custom arbiter/router subclass) raises
+    :class:`~repro.errors.ConfigurationError` naming the registered
+    cores and the selected engine — pass ``engine="reference"`` there.
     """
     if engine == "reference":
         return SimulationEngine(router, seed=seed)

@@ -14,8 +14,9 @@ share.
 
 from __future__ import annotations
 
-from repro.core.estimator import canonical_architecture
+from repro.errors import ConfigurationError
 from repro.fabrics.factory import build_fabric
+from repro.fabrics.registry import canonical_architecture
 from repro.router.cells import CellFormat
 from repro.router.router import NetworkRouter
 from repro.router.traffic import BernoulliUniformTraffic, TrafficGenerator
@@ -32,13 +33,18 @@ def build_router(
     wire_mode: str = "worst_case",
     traffic: TrafficGenerator | None = None,
     ingress_queue_cells: int | None = None,
+    queueing: str = "fifo",
+    islip_iterations: int = 1,
     **fabric_kwargs,
 ) -> NetworkRouter:
     """Assemble a router with paper-default models.
 
     ``traffic`` defaults to Bernoulli arrivals with uniform random
     destinations at ``load`` cells per port-slot, single-cell packets —
-    the paper's workload.
+    the paper's workload.  ``queueing`` selects the input discipline:
+    ``"fifo"`` (the paper's HOL-blocked input queues) or ``"voq"``
+    (per-destination virtual output queues matched by iSLIP with
+    ``islip_iterations`` rounds per slot).
     """
     arch = canonical_architecture(architecture)
     cell_format = cell_format or CellFormat(bus_width=tech.bus_width_bits)
@@ -56,6 +62,24 @@ def build_router(
             load,
             packet_bits=cell_format.payload_bits_per_cell,
             bus_width=cell_format.bus_width,
+        )
+    if queueing == "voq":
+        from repro.router.voq import VoqNetworkRouter
+
+        return VoqNetworkRouter(
+            fabric,
+            traffic,
+            tech=tech,
+            ingress_queue_cells=ingress_queue_cells,
+            islip_iterations=islip_iterations,
+        )
+    if queueing != "fifo":
+        raise ConfigurationError(
+            f"queueing must be 'fifo' or 'voq', got {queueing!r}"
+        )
+    if islip_iterations != 1:
+        raise ConfigurationError(
+            "islip_iterations is a VOQ parameter; pass queueing='voq'"
         )
     return NetworkRouter(
         fabric,

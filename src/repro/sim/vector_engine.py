@@ -3,11 +3,11 @@
 Drop-in counterpart of :class:`~repro.sim.engine.SimulationEngine` built
 on struct-of-arrays state: arrivals come in as
 :class:`~repro.router.traffic.ArrivalBatch` arrays, cells live as rows
-of a :class:`~repro.sim.cellstore.CellStore`, ingress FIFOs hold integer
-cell ids, arbitration and egress accounting run on plain int arrays/
-lists, and the fabric is driven through a
-:class:`~repro.fabrics.vectorized.VectorFabricCore` that batches each
-slot's wire-flip counting into one vectorized popcount.
+of a :class:`~repro.sim.cellstore.CellStore`, ingress FIFOs (or VOQ
+occupancy matrices) hold integer cell ids, arbitration and egress
+accounting run on plain int arrays/lists, and the fabric is driven
+through a :class:`~repro.fabrics.vectorized.VectorFabricCore` that
+batches each slot's wire-flip counting into one vectorized popcount.
 
 The engine is an exact functional mirror of the reference: for any
 seeded run of a supported router it produces a bit-identical
@@ -19,10 +19,21 @@ random-drawing primitive for both.
 
 Supported configurations: a plain :class:`~repro.router.router.
 NetworkRouter` (FIFO ingress, bounded or unbounded) with the FCFS
-round-robin or oldest-first arbiter and one of the four built-in
-fabrics.  Anything else (VOQ router, custom fabrics/arbiters) raises
-:class:`~repro.errors.ConfigurationError` — use the reference engine
-there.
+round-robin or oldest-first arbiter, or a
+:class:`~repro.router.voq.VoqNetworkRouter` (per-destination VOQs
+matched by K-iteration iSLIP, bounded or unbounded), over any fabric
+with a vector core in :mod:`repro.fabrics.registry` (the four built-ins
+plus custom registrations).  Anything else raises
+:class:`~repro.errors.ConfigurationError` naming the registered cores —
+use the reference engine there.
+
+The VOQ path mirrors :class:`~repro.router.voq.IslipArbiter` with array
+state: the request matrix is the ``(ports, ports)`` VOQ occupancy
+against the fabric admission mask, the grant and accept phases of each
+iSLIP iteration are batched modular-distance ``argmin`` reductions over
+round-robin pointer vectors, and the accepted matches are emitted in
+the reference arbiter's dict-insertion order so the fabric cores charge
+the ledger in the exact same sequence.
 
 The engine takes ownership of the router's energy ledger; do not run
 the same router instance through both engines.
@@ -30,12 +41,15 @@ the same router instance through both engines.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.fabrics.vectorized import CORE_TYPES, make_vector_core
+from repro.fabrics.vectorized import make_vector_core
 from repro.router.arbiter import FcfsRoundRobinArbiter, OldestFirstArbiter
 from repro.router.router import NetworkRouter
+from repro.router.voq import IslipArbiter, VoqNetworkRouter
 from repro.sim import ledger as categories
 from repro.sim.cellstore import CellStore
 from repro.sim.results import (
@@ -47,11 +61,18 @@ from repro.sim.results import (
 
 def supports_router(router) -> bool:
     """Whether :class:`VectorizedEngine` can run this router exactly."""
-    return (
-        type(router) is NetworkRouter
-        and type(router.arbiter) in (FcfsRoundRobinArbiter, OldestFirstArbiter)
-        and type(router.fabric) in CORE_TYPES
-    )
+    from repro.fabrics.registry import vector_core_for
+
+    if vector_core_for(router.fabric) is None:
+        return False
+    if type(router) is NetworkRouter:
+        return type(router.arbiter) in (
+            FcfsRoundRobinArbiter,
+            OldestFirstArbiter,
+        )
+    if type(router) is VoqNetworkRouter:
+        return type(router.arbiter) is IslipArbiter
+    return False
 
 
 class VectorizedEngine:
@@ -66,12 +87,19 @@ class VectorizedEngine:
 
     def __init__(self, router: NetworkRouter, seed: int | None = 12345) -> None:
         if not supports_router(router):
+            from repro.fabrics.registry import vector_core_summary
+
             raise ConfigurationError(
-                "VectorizedEngine supports a plain NetworkRouter with the "
-                "FCFS/oldest-first arbiter and a built-in fabric; got "
-                f"{type(router).__name__} with "
+                "engine='vectorized' was selected, but VectorizedEngine "
+                "supports a NetworkRouter (FCFS/oldest-first arbiter) or "
+                "VoqNetworkRouter (iSLIP) over a fabric with a registered "
+                f"vector core; got {type(router).__name__} with "
                 f"{type(router.arbiter).__name__} and "
-                f"{type(router.fabric).__name__}. Use the reference engine."
+                f"{type(router.fabric).__name__}. Registered cores: "
+                f"{vector_core_summary()}. Register the fabric with "
+                "repro.fabrics.registry.register_fabric(..., "
+                "vector_core=...) or use the reference engine "
+                "(engine='reference')."
             )
         self.router = router
         self.seed = seed
@@ -80,11 +108,36 @@ class VectorizedEngine:
         ports = router.ports
         self.store = CellStore(router.fabric.cell_format)
         self._core = make_vector_core(router.fabric, self.store)
-        self._queues: list[list[int]] = [[] for _ in range(ports)]
-        self._qhead = [0] * ports
         self._queue_cap = router.ingress[0].queue_capacity_cells
-        self._oldest_first = type(router.arbiter) is OldestFirstArbiter
-        self._pointer = router.arbiter._pointer
+        self._is_voq = type(router) is VoqNetworkRouter
+        if self._is_voq:
+            from repro.fabrics.vectorized import VectorFabricCore
+
+            # Per-(input, destination) FIFOs of cell ids.  The iSLIP
+            # request mask is maintained incrementally (set on enqueue,
+            # cleared when a VOQ drains) so arbitration never rebuilds
+            # it; the occupancy counts back the per-VOQ capacity bound.
+            self._vq: list[list[deque[int]]] = [
+                [deque() for _ in range(ports)] for _ in range(ports)
+            ]
+            self._req = np.zeros((ports, ports), dtype=bool)
+            self._voq_occ = [[0] * ports for _ in range(ports)]
+            self._port_depth = [0] * ports
+            arbiter = router.arbiter
+            self._islip_iterations = arbiter.iterations
+            self._grant_ptr = np.array(arbiter._grant_ptr, dtype=np.int64)
+            self._accept_ptr = np.array(arbiter._accept_ptr, dtype=np.int64)
+            #: modular distance table: ``dist[a, b] == (a - b) % ports``.
+            index = np.arange(ports, dtype=np.int64)
+            self._dist = (index[:, None] - index[None, :]) % ports
+            self._admit_all = (
+                type(self._core).can_admit is VectorFabricCore.can_admit
+            )
+        else:
+            self._queues: list[list[int]] = [[] for _ in range(ports)]
+            self._qhead = [0] * ports
+            self._oldest_first = type(router.arbiter) is OldestFirstArbiter
+            self._pointer = router.arbiter._pointer
         # Ingress statistics (mirrored onto router.ingress[*].stats at
         # collection time; like the reference, never reset at warmup).
         self._packets_in = [0] * ports
@@ -112,8 +165,11 @@ class VectorizedEngine:
         if generate_arrivals:
             batch = self.router.traffic.arrivals_batch(slot, self.rng)
             if len(batch):
-                self._accept(batch)
-        grants = self._arbitrate()
+                if self._is_voq:
+                    self._accept_voq(batch)
+                else:
+                    self._accept(batch)
+        grants = self._arbitrate_voq() if self._is_voq else self._arbitrate()
         delivered = self._core.advance(grants, slot)
         if self._measuring:
             self._measurement_slots += 1
@@ -123,19 +179,22 @@ class VectorizedEngine:
         self._slot += 1
         return delivered
 
-    def _accept(self, batch) -> None:
-        store = self.store
-        queues = self._queues
-        qhead = self._qhead
+    def _validate_batch(self, srcs: list[int], dests: list[int]) -> None:
         ports = self.router.ports
-        srcs = batch.srcs.tolist()
-        dests = batch.dests.tolist()
         if min(srcs) < 0 or max(srcs) >= ports:
             bad = next(s for s in srcs if not 0 <= s < ports)
             raise ConfigurationError(f"packet source {bad} out of range")
         if min(dests) < 0 or max(dests) >= ports:
             bad = next(d for d in dests if not 0 <= d < ports)
             raise ConfigurationError(f"packet destination {bad} out of range")
+
+    def _accept(self, batch) -> None:
+        store = self.store
+        queues = self._queues
+        qhead = self._qhead
+        srcs = batch.srcs.tolist()
+        dests = batch.dests.tolist()
+        self._validate_batch(srcs, dests)
         if self._queue_cap is None:
             ids, slices = store.add_batch(batch)
             for i in range(len(srcs)):
@@ -212,6 +271,154 @@ class VectorizedEngine:
             self._pointer = (self._pointer + 1) % ports
         return grants
 
+    # ------------------------------------------------------------------
+    # VOQ/iSLIP path (mirrors VoqIngressUnit + IslipArbiter exactly)
+    # ------------------------------------------------------------------
+
+    def _accept_voq(self, batch) -> None:
+        """Segment a batch into per-(input, destination) VOQs.
+
+        Mirrors :meth:`repro.router.voq.VoqIngressUnit.accept_packet`:
+        whole-packet tail drop against the *per-VOQ* capacity (the FIFO
+        ingress bounds the whole port instead), queue peaks tracked per
+        port across all of its VOQs.
+        """
+        store = self.store
+        vq = self._vq
+        req = self._req
+        occ = self._voq_occ
+        depth = self._port_depth
+        srcs = batch.srcs.tolist()
+        dests = batch.dests.tolist()
+        self._validate_batch(srcs, dests)
+        cap = self._queue_cap
+        if cap is None:
+            ids, slices = store.add_batch(batch)
+            for i in range(len(srcs)):
+                src = srcs[i]
+                dest = dests[i]
+                n_cells = slices[i + 1] - slices[i]
+                vq[src][dest].extend(ids[slices[i] : slices[i + 1]])
+                req[src, dest] = True
+                depth[src] += n_cells
+                self._packets_in[src] += 1
+                self._cells_in[src] += n_cells
+                if depth[src] > self._queue_peak[src]:
+                    self._queue_peak[src] = depth[src]
+            return
+        per_cell = store.cell_format.payload_words
+        offsets = batch.word_offsets
+        for i in range(len(srcs)):
+            src = srcs[i]
+            dest = dests[i]
+            n_cells = max(1, -(-int(offsets[i + 1] - offsets[i]) // per_cell))
+            if occ[src][dest] + n_cells > cap:
+                self._cells_dropped[src] += n_cells
+                continue
+            vq[src][dest].extend(store.add_packet(batch, i))
+            req[src, dest] = True
+            occ[src][dest] += n_cells
+            depth[src] += n_cells
+            self._packets_in[src] += 1
+            self._cells_in[src] += n_cells
+            if depth[src] > self._queue_peak[src]:
+                self._queue_peak[src] = depth[src]
+
+    def _arbitrate_voq(self) -> list[tuple[int, int]]:
+        """One slot of K-iteration iSLIP as batched array reductions.
+
+        Produces the same matches in the same order as
+        :meth:`repro.router.voq.IslipArbiter.select`: grant and accept
+        winners are modular-distance ``argmin`` reductions against the
+        pointer vectors (distances within a phase are unique, so argmin
+        needs no tie-break), and the emitted order reproduces the
+        reference's dict-insertion order (winners by first appearance
+        over the output scan) so downstream ledger charging matches
+        bit for bit.
+        """
+        ports = self.router.ports
+        req = self._req
+        depth = self._port_depth
+        dist = self._dist
+        # The request mask already has all-False rows for empty ports,
+        # so fabric admission is the only extra eligibility filter.
+        if self._admit_all:
+            base = req
+        else:
+            can_admit = self._core.can_admit
+            blocked = [
+                p for p in range(ports) if depth[p] > 0 and not can_admit(p)
+            ]
+            if blocked:
+                admit = np.ones(ports, dtype=bool)
+                admit[blocked] = False
+                base = req & admit[:, None]
+            else:
+                base = req
+        matched_in: np.ndarray | None = None
+        matched_out: np.ndarray | None = None
+        pairs: list[tuple[int, int]] = []
+        sentinel = ports  # > any modular distance
+        for iteration in range(self._islip_iterations):
+            if iteration == 0:
+                active = base
+            else:
+                active = base & ~matched_in[:, None] & ~matched_out[None, :]
+            requested = np.flatnonzero(active.any(axis=0))
+            if requested.size == 0:
+                break
+            # Grant phase: every requested output grants the requester
+            # closest clockwise to its grant pointer.  Distances within
+            # a phase are unique, so argmin needs no tie-break.
+            grant_keys = np.where(
+                active, dist[:, self._grant_ptr], sentinel
+            )
+            winner = grant_keys.argmin(axis=0)[requested]
+            # Accept phase: every granted input accepts the output
+            # closest clockwise to its accept pointer (group-by-min of
+            # each requested output's distance from its winner's ptr).
+            accept_keys = dist[requested, self._accept_ptr[winner]]
+            best: dict[int, tuple[int, int]] = {}
+            order: list[int] = []
+            for out, port, key in zip(
+                requested.tolist(), winner.tolist(), accept_keys.tolist()
+            ):
+                current = best.get(port)
+                if current is None:
+                    # Reference insertion order: winners by first
+                    # appearance as the grant loop scans outputs 0..N-1.
+                    best[port] = (key, out)
+                    order.append(port)
+                elif key < current[0]:
+                    best[port] = (key, out)
+            if matched_in is None:
+                matched_in = np.zeros(ports, dtype=bool)
+                matched_out = np.zeros(ports, dtype=bool)
+            first_iteration = iteration == 0
+            for port in order:
+                out = best[port][1]
+                pairs.append((port, out))
+                matched_in[port] = True
+                matched_out[out] = True
+                # iSLIP pointer update: first-iteration accepts only.
+                if first_iteration:
+                    self._accept_ptr[port] = (out + 1) % ports
+                    self._grant_ptr[out] = (port + 1) % ports
+        vq = self._vq
+        occ = self._voq_occ
+        bounded = self._queue_cap is not None
+        grants: list[tuple[int, int]] = []
+        for port, out in pairs:
+            queue = vq[port][out]
+            cid = queue.popleft()
+            if not queue:
+                req[port, out] = False
+            if bounded:
+                occ[port][out] -= 1
+            depth[port] -= 1
+            grants.append((port, cid))
+        return grants
+
     def _deliver(self, delivered: list[int], slot: int) -> None:
         store = self.store
         payload_bits = store.payload_bits
@@ -247,6 +454,8 @@ class VectorizedEngine:
 
     @property
     def ingress_backlog_cells(self) -> int:
+        if self._is_voq:
+            return sum(self._port_depth)
         return sum(
             len(self._queues[p]) - self._qhead[p]
             for p in range(self.router.ports)

@@ -239,3 +239,104 @@ class TestWireMode:
     def test_parse_rejects_non_string(self):
         with pytest.raises(ConfigurationError):
             WireMode.parse(3)
+
+
+class TestPerPortLoadVectors:
+    def test_vector_load_freezes_to_tuple(self):
+        s = Scenario("crossbar", 4, [0.1, 0.2, 0.3, 0.4])
+        assert s.load == (0.1, 0.2, 0.3, 0.4)
+        assert s.mean_load == pytest.approx(0.25)
+        assert hash(s)  # stays hashable
+
+    def test_vector_load_round_trips_json(self):
+        s = Scenario("banyan", 4, [0.0, 1.0, 0.5, 0.25])
+        back = Scenario.from_json(s.to_json())
+        assert back == s
+        assert back.load == (0.0, 1.0, 0.5, 0.25)
+
+    def test_vector_load_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError, match="4 entries"):
+            Scenario("crossbar", 4, [0.1, 0.2])
+
+    def test_vector_load_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="0, 1"):
+            Scenario("crossbar", 4, [0.1, 0.2, 0.3, 1.4])
+
+    def test_vector_load_estimate_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="simulate-only"):
+            Scenario("crossbar", 4, [0.1, 0.2, 0.3, 0.4], backend="estimate")
+
+    def test_vector_load_bursty_rejected(self):
+        with pytest.raises(ConfigurationError, match="scalar"):
+            Scenario("crossbar", 4, [0.1, 0.2, 0.3, 0.4], traffic="bursty")
+
+    def test_grid_accepts_vector_loads(self):
+        scenarios = Scenario.grid(
+            architectures=("crossbar",),
+            ports=(4,),
+            loads=(0.3, [0.1, 0.2, 0.3, 0.4]),
+        )
+        assert [s.load for s in scenarios] == [0.3, (0.1, 0.2, 0.3, 0.4)]
+
+    def test_build_traffic_consumes_vector(self):
+        s = Scenario("crossbar", 4, [0.0, 0.0, 0.0, 1.0])
+        traffic = s.build_traffic()
+        import numpy as np
+
+        batch = traffic.arrivals_batch(0, np.random.default_rng(1))
+        assert batch.srcs.tolist() == [3]
+
+
+class TestQueueingAndRngStream:
+    def test_voq_fields_round_trip(self):
+        s = Scenario("crossbar", 8, 0.9, queueing="voq", islip_iterations=3,
+                     rng_stream=2)
+        assert Scenario.from_json(s.to_json()) == s
+
+    def test_unknown_queueing_rejected(self):
+        with pytest.raises(ConfigurationError, match="queueing"):
+            Scenario("crossbar", 8, 0.5, queueing="output")
+
+    def test_islip_iterations_need_voq(self):
+        with pytest.raises(ConfigurationError, match="voq"):
+            Scenario("crossbar", 8, 0.5, islip_iterations=2)
+
+    def test_voq_estimate_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="simulate-only"):
+            Scenario("crossbar", 8, 0.5, queueing="voq", backend="estimate")
+
+    def test_unknown_rng_stream_rejected(self):
+        with pytest.raises(ConfigurationError, match="rng_stream"):
+            Scenario("crossbar", 8, 0.5, rng_stream=3)
+
+    def test_rng_stream_changes_content_hash(self):
+        v1 = Scenario("crossbar", 8, 0.5)
+        v2 = v1.replace(rng_stream=2)
+        assert v1.content_hash() != v2.content_hash()
+
+    def test_queueing_changes_content_hash(self):
+        fifo = Scenario("crossbar", 8, 0.5)
+        voq = fifo.replace(queueing="voq")
+        assert fifo.content_hash() != voq.content_hash()
+
+    def test_build_traffic_selects_stream(self):
+        from repro.router.traffic import RNG_STREAM_V2
+
+        s = Scenario("crossbar", 8, 0.5, rng_stream=2)
+        assert s.build_traffic().rng_stream == RNG_STREAM_V2
+
+    def test_custom_registered_architecture_validates(self):
+        from repro.fabrics.crossbar import CrossbarFabric
+        from repro.fabrics.registry import register_fabric, unregister_fabric
+
+        class ScenarioFabric(CrossbarFabric):
+            architecture = "scn_custom"
+
+        register_fabric("scn_custom", ScenarioFabric)
+        try:
+            s = Scenario("scn_custom", 4, 0.3)
+            assert s.architecture == "scn_custom"
+            with pytest.raises(ConfigurationError, match="closed forms"):
+                Scenario("scn_custom", 4, 0.3, backend="estimate")
+        finally:
+            unregister_fabric("scn_custom")

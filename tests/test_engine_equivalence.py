@@ -288,17 +288,267 @@ class TestRouterStateMirroring:
             engine.run(5)
 
 
+class TestVoqMatrix:
+    """VOQ/iSLIP on the vectorized engine: exact seeded equivalence."""
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    @pytest.mark.parametrize("iterations", [1, 2])
+    def test_all_fabrics_islip_iterations(self, arch, iterations):
+        ref, vec = run_pair(
+            Scenario(
+                arch, 8, 0.9, queueing="voq",
+                islip_iterations=iterations, **RUN,
+            )
+        )
+        assert_identical(ref, vec)
+
+    @pytest.mark.parametrize("load", [0.25, 0.95])
+    def test_loads(self, load):
+        ref, vec = run_pair(
+            Scenario("crossbar", 8, load, queueing="voq", **RUN)
+        )
+        assert_identical(ref, vec)
+
+    @pytest.mark.parametrize("wire_mode", ["per_link", "expected"])
+    def test_wire_modes(self, wire_mode):
+        ref, vec = run_pair(
+            Scenario(
+                "banyan", 8, 0.8, queueing="voq", islip_iterations=2,
+                wire_mode=wire_mode, **RUN,
+            )
+        )
+        assert_identical(ref, vec)
+
+    @pytest.mark.parametrize("depth", [1, 4])
+    def test_bounded_voq_depth(self, depth):
+        """Per-VOQ tail drop (the VOQ bound is per destination queue,
+        unlike the FIFO per-port bound) must mirror exactly — including
+        the drop counters and occupancy peaks on the router units."""
+        stats = {}
+        for engine_cls in (SimulationEngine, VectorizedEngine):
+            router = build_router(
+                "crossbar",
+                8,
+                load=0.95,
+                queueing="voq",
+                ingress_queue_cells=depth,
+            )
+            result = engine_cls(router, seed=13).run(150, warmup_slots=0)
+            stats[engine_cls] = (
+                result,
+                [
+                    (u.stats.packets_in, u.stats.cells_dropped,
+                     u.stats.queue_peak)
+                    for u in router.ingress
+                ],
+            )
+        assert stats[SimulationEngine] == stats[VectorizedEngine]
+        assert sum(d for _, d, _ in stats[VectorizedEngine][1]) > 0
+
+    def test_sixteen_ports_hotspot(self):
+        ref, vec = run_pair(
+            Scenario(
+                "crossbar", 16, 0.8, queueing="voq", islip_iterations=2,
+                traffic="hotspot",
+                traffic_params={"hotspot_fraction": 0.5},
+                arrival_slots=80, warmup_slots=10, seed=3,
+            )
+        )
+        assert_identical(ref, vec)
+
+    def test_voq_beats_fifo_on_vectorized_engine(self):
+        """The vectorized engine must show the HOL-unblocking, not just
+        match the reference numerically."""
+        fifo = PowerModel().simulate(
+            Scenario("crossbar", 8, 0.95, arrival_slots=800,
+                     warmup_slots=100, drain=False)
+        ).detail
+        voq = PowerModel().simulate(
+            Scenario("crossbar", 8, 0.95, queueing="voq",
+                     arrival_slots=800, warmup_slots=100, drain=False)
+        ).detail
+        assert voq.throughput > fifo.throughput + 0.15
+
+
+class TestRngStreamV2:
+    """Stream v2 (chunked pregeneration): reference-v2 == vectorized-v2."""
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_all_fabrics(self, arch):
+        ref, vec = run_pair(Scenario(arch, 8, 0.7, rng_stream=2, **RUN))
+        assert_identical(ref, vec)
+
+    @pytest.mark.parametrize(
+        "traffic,params",
+        [
+            ("bernoulli", {}),
+            ("hotspot", {"hotspot_fraction": 0.6}),
+            ("bursty", {"burst_len": 6.0}),
+            ("permutation", {}),
+            ("trimodal", {}),
+        ],
+    )
+    def test_all_traffic_kinds(self, traffic, params):
+        ref, vec = run_pair(
+            Scenario(
+                "banyan", 8, 0.5, traffic=traffic, traffic_params=params,
+                rng_stream=2, **RUN,
+            )
+        )
+        assert_identical(ref, vec)
+
+    def test_voq_with_stream_v2(self):
+        ref, vec = run_pair(
+            Scenario(
+                "crossbar", 8, 0.9, queueing="voq", islip_iterations=2,
+                rng_stream=2, **RUN,
+            )
+        )
+        assert_identical(ref, vec)
+
+    def test_run_longer_than_one_chunk(self):
+        """140 arrival slots + warmup spans multiple 64-slot chunks."""
+        ref, vec = run_pair(
+            Scenario(
+                "crossbar", 4, 0.6, rng_stream=2,
+                arrival_slots=200, warmup_slots=30, seed=11,
+            )
+        )
+        assert_identical(ref, vec)
+
+    def test_v2_differs_from_v1_but_v1_is_stable(self):
+        """v2 is a different seeded workload; v1 must not move at all."""
+        session = PowerModel()
+        v1 = session.simulate(Scenario("banyan", 8, 0.6, **RUN)).detail
+        v1_again = session.simulate(Scenario("banyan", 8, 0.6, **RUN)).detail
+        v2 = session.simulate(
+            Scenario("banyan", 8, 0.6, rng_stream=2, **RUN)
+        ).detail
+        assert v1 == v1_again
+        assert v1 != v2
+
+    def test_trace_entries_replay_identically_on_v2(self):
+        entries = [[s, s % 8, (3 * s + 1) % 8, 480] for s in range(60)]
+        ref, vec = run_pair(
+            Scenario(
+                "banyan", 8, 0.5, traffic="trace",
+                traffic_params={"entries": entries}, rng_stream=2,
+                arrival_slots=140, warmup_slots=0, seed=97,
+            )
+        )
+        assert_identical(ref, vec)
+        assert ref.delivered_cells == 60
+
+
+class TestPerPortLoads:
+    def test_vector_load_equivalence(self):
+        ref, vec = run_pair(
+            Scenario(
+                "crossbar", 4, [0.1, 0.9, 0.4, 0.0], **RUN
+            )
+        )
+        assert_identical(ref, vec)
+        assert ref.offered_load == pytest.approx(0.35)
+
+    def test_vector_load_with_voq_and_v2(self):
+        ref, vec = run_pair(
+            Scenario(
+                "banyan", 4, [0.2, 0.8, 0.5, 0.9], queueing="voq",
+                rng_stream=2, **RUN,
+            )
+        )
+        assert_identical(ref, vec)
+
+    def test_zero_load_ports_stay_silent(self):
+        session = PowerModel()
+        record = session.simulate(
+            Scenario("crossbar", 4, [0.0, 0.9, 0.0, 0.9], **RUN)
+        )
+        router_stats = record.detail
+        assert router_stats.delivered_cells > 0
+
+
+class TestRegistry:
+    def test_custom_fabric_runs_on_both_engines(self):
+        """A registry entry with a vector core is a first-class citizen:
+        Scenario validates it and both engines produce identical
+        results."""
+        from repro.fabrics.crossbar import CrossbarFabric
+        from repro.fabrics.factory import default_models
+        from repro.fabrics.registry import register_fabric, unregister_fabric
+        from repro.fabrics.vectorized import CrossbarCore
+
+        class MyFabric(CrossbarFabric):
+            architecture = "my_xbar"
+
+        register_fabric(
+            "my_xbar",
+            MyFabric,
+            vector_core=CrossbarCore,
+            models_factory=lambda ports, tech: default_models(
+                "crossbar", ports, tech
+            ),
+        )
+        try:
+            ref, vec = run_pair(Scenario("my_xbar", 8, 0.6, **RUN))
+            assert_identical(ref, vec)
+            assert ref.architecture == "my_xbar"
+        finally:
+            unregister_fabric("my_xbar")
+
+    def test_builtin_entries_cannot_be_replaced(self):
+        from repro.fabrics.crossbar import CrossbarFabric
+        from repro.fabrics.registry import register_fabric, unregister_fabric
+
+        with pytest.raises(ConfigurationError, match="built-in"):
+            register_fabric("crossbar", CrossbarFabric)
+        with pytest.raises(ConfigurationError, match="built-in"):
+            unregister_fabric("banyan")
+
+    def test_aliases_cannot_hijack_builtin_names(self):
+        """An alias colliding with a built-in name or alias must be
+        rejected up front — otherwise every Scenario('crossbar', ...)
+        would silently build the custom fabric."""
+        from repro.fabrics.crossbar import CrossbarFabric
+        from repro.fabrics.registry import (
+            canonical_architecture,
+            register_fabric,
+            unregister_fabric,
+        )
+
+        class Sneaky(CrossbarFabric):
+            architecture = "sneaky"
+
+        for stolen in ("crossbar", "xbar"):
+            with pytest.raises(ConfigurationError, match="built-in"):
+                register_fabric("sneaky", Sneaky, aliases=(stolen,))
+        assert canonical_architecture("xbar") == "crossbar"
+
+        # Alias collisions between custom entries are rejected too,
+        # and replace=True only swaps an entry's own names.
+        register_fabric("sneaky", Sneaky, aliases=("sn",))
+        try:
+            with pytest.raises(ConfigurationError, match="registered to"):
+                register_fabric("other", Sneaky, aliases=("sn",))
+            entry = register_fabric(
+                "sneaky", Sneaky, aliases=("sn2",), replace=True
+            )
+            assert entry.aliases == ("sn2",)
+            with pytest.raises(ConfigurationError, match="unknown"):
+                canonical_architecture("sn")  # old alias released
+        finally:
+            unregister_fabric("sneaky")
+
+
 class TestUnsupportedConfigurations:
-    def test_voq_router_rejected(self):
+    def test_voq_router_now_supported(self):
         fabric = build_fabric("crossbar", 4)
         router = VoqNetworkRouter(fabric, BernoulliUniformTraffic(4, 0.5))
-        with pytest.raises(ConfigurationError, match="reference"):
-            VectorizedEngine(router)
-        # The reference engine still runs it.
-        result = SimulationEngine(router, seed=1).run(40)
+        engine = VectorizedEngine(router, seed=1)
+        result = engine.run(40)
         assert result.delivered_cells > 0
 
-    def test_custom_fabric_rejected(self):
+    def test_unregistered_custom_fabric_rejected(self):
         from repro.fabrics.crossbar import CrossbarFabric
 
         class MyFabric(CrossbarFabric):
@@ -306,6 +556,22 @@ class TestUnsupportedConfigurations:
 
         fabric = MyFabric.with_default_models(4)
         router = NetworkRouter(fabric, BernoulliUniformTraffic(4, 0.5))
+        with pytest.raises(ConfigurationError, match="reference") as err:
+            VectorizedEngine(router)
+        # The registry error names the registered cores and the engine.
+        assert "vectorized" in str(err.value)
+        assert "crossbar" in str(err.value)
+
+    def test_custom_arbiter_rejected(self):
+        from repro.router.arbiter import FcfsRoundRobinArbiter
+
+        class MyArbiter(FcfsRoundRobinArbiter):
+            pass
+
+        fabric = build_fabric("crossbar", 4)
+        router = NetworkRouter(
+            fabric, BernoulliUniformTraffic(4, 0.5), arbiter=MyArbiter(4)
+        )
         with pytest.raises(ConfigurationError, match="reference"):
             VectorizedEngine(router)
 

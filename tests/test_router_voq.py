@@ -138,3 +138,49 @@ class TestVoqRouter:
         )
         assert result.throughput == pytest.approx(0.4, abs=0.05)
         assert result.energy.total_j > 0
+
+
+class TestIslipIterations:
+    def test_second_iteration_fills_the_match(self, cell_format):
+        """Input 1 is granted by outputs 1 and 2 but can only accept
+        one, wasting output 2's grant; round two hands output 2 to
+        input 2 in the same slot."""
+        requests = {
+            1: {
+                1: make_cell(cell_format, dest=1, src=1, packet_id=0),
+                2: make_cell(cell_format, dest=2, src=1, packet_id=1),
+            },
+            2: {2: make_cell(cell_format, dest=2, src=2, packet_id=2)},
+        }
+        one = IslipArbiter(4, iterations=1).select(dict(requests), lambda p: True)
+        two = IslipArbiter(4, iterations=2).select(dict(requests), lambda p: True)
+        assert {p: d for p, (d, _) in one.items()} == {1: 1}
+        assert {p: d for p, (d, _) in two.items()} == {1: 1, 2: 2}
+
+    def test_pointers_only_move_on_first_iteration(self, cell_format):
+        arb = IslipArbiter(4, iterations=2)
+        requests = {
+            0: {
+                1: make_cell(cell_format, dest=1, src=0, packet_id=0),
+                2: make_cell(cell_format, dest=2, src=0, packet_id=1),
+            },
+            1: {1: make_cell(cell_format, dest=1, src=1, packet_id=2)},
+        }
+        arb.select(requests, lambda p: True)
+        # Output 1's grant was accepted (pointer moved); output 2's
+        # grant was rejected, so its pointer must still be at 0 — the
+        # iSLIP no-starvation rule.
+        assert arb._grant_ptr[1] != 0
+        assert arb._grant_ptr[2] == 0
+
+    def test_bad_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IslipArbiter(4, iterations=0)
+
+    def test_router_threads_iterations_through(self):
+        fabric = build_fabric("crossbar", 8)
+        traffic = BernoulliUniformTraffic(8, 0.9)
+        router = VoqNetworkRouter(fabric, traffic, islip_iterations=3)
+        assert router.arbiter.iterations == 3
+        result = SimulationEngine(router, seed=3).run(200, warmup_slots=40)
+        assert result.throughput > 0.8
