@@ -1,5 +1,14 @@
 """Regenerate paper Fig. 10: power vs port count at 50% throughput.
 
+Thin wrapper over the ``fig10`` campaign preset: the underlying load
+grid runs as one declarative campaign and the figure's per-port series
+is read off the :class:`~repro.campaigns.comparison.ComparisonRecord`
+at the target egress throughput
+(:meth:`~repro.campaigns.comparison.ComparisonRecord.
+interpolated_power` — saturated fabrics report their power at
+saturation, mirroring how a measured curve is read).  Same grid via
+``repro campaign run fig10`` / ``repro campaign report fig10``.
+
 Plus the paper's quantitative reading of the figure: the power gap
 between the fully connected fabric and the Batcher-Banyan *narrows*
 as ports grow (37% at 4x4 -> 20% at 32x32 in the paper; our measured
@@ -9,33 +18,32 @@ figures are printed alongside).
 from __future__ import annotations
 
 from repro.analysis.report import format_comparison, format_table
-from repro.analysis.sweeps import port_sweep
+from repro.campaigns import get_campaign, run_campaign
 from repro.core.estimator import ARCHITECTURES
 from repro.units import to_mW
 
-PORTS = [4, 8, 16, 32]
+CAMPAIGN = get_campaign("fig10")
+PORTS = list(CAMPAIGN.ports)
+TARGET = CAMPAIGN.params_dict["target_throughput"]
 
 
-def _sweep():
-    return port_sweep(
-        throughput=0.50,
-        ports_list=PORTS,
-        loads=[0.1, 0.2, 0.3, 0.4, 0.5, 0.55],
-        arrival_slots=800,
-        warmup_slots=160,
-        seed=2002,
-    )
+def _power_by_arch_ports():
+    record = run_campaign(CAMPAIGN)
+    power: dict[str, dict[int, float]] = {arch: {} for arch in ARCHITECTURES}
+    for row in record.interpolated_power(TARGET):
+        power[row["architecture"]][row["ports"]] = row["power_w"]
+    return power
 
 
 def test_fig10_power_vs_ports(once):
-    result = once(_sweep)
+    power = once(_power_by_arch_ports)
 
     print()
     rows = []
     for ports in PORTS:
         rows.append(
             [f"{ports}x{ports}"]
-            + [to_mW(result.power_w[arch][ports]) for arch in ARCHITECTURES]
+            + [to_mW(power[arch][ports]) for arch in ARCHITECTURES]
         )
     print(
         format_table(
@@ -45,14 +53,18 @@ def test_fig10_power_vs_ports(once):
         )
     )
 
-    gap4 = result.gap("fully_connected", "batcher_banyan", 4)
-    gap32 = result.gap("fully_connected", "batcher_banyan", 32)
+    def gap(ports):
+        fc = power["fully_connected"][ports]
+        bb = power["batcher_banyan"][ports]
+        return (bb - fc) / bb
+
+    gap4, gap32 = gap(4), gap(32)
     print(format_comparison("FC-vs-BB gap at 4x4", 0.37, gap4))
     print(format_comparison("FC-vs-BB gap at 32x32", 0.20, gap32))
 
     # Every architecture burns more power in bigger fabrics.
     for arch in ARCHITECTURES:
-        series = [result.power_w[arch][p] for p in PORTS]
+        series = [power[arch][p] for p in PORTS]
         assert series == sorted(series), arch
 
     # The paper's headline Fig. 10 observation: the gap narrows.
@@ -60,7 +72,4 @@ def test_fig10_power_vs_ports(once):
     # Fully connected cheaper than Batcher-Banyan at every size
     # (Observation 2's pairing).
     for ports in PORTS:
-        assert (
-            result.power_w["fully_connected"][ports]
-            < result.power_w["batcher_banyan"][ports]
-        )
+        assert power["fully_connected"][ports] < power["batcher_banyan"][ports]

@@ -1,8 +1,13 @@
 """Regenerate paper Fig. 9: power vs egress throughput, 10-50%.
 
-One bench per port count (4/8/16/32), each sweeping all four
-architectures across offered loads and printing the power series the
-figure plots.  Shape assertions per the paper's reading of Fig. 9:
+Thin wrapper over the ``fig9`` campaign preset
+(:mod:`repro.campaigns.presets`): each per-port test runs the preset
+restricted to its port count (``CAMPAIGN.replace(ports=...)``), so the
+benchmark timing measures that port count's own sweep — exactly the
+work the legacy hand-rolled loop did — while the grid stays defined in
+one place.  The whole figure is ``repro campaign run fig9``.
+
+Shape assertions per the paper's reading of Fig. 9:
 
 * crossbar / fully-connected / Batcher-Banyan power grows ~linearly
   with throughput;
@@ -15,32 +20,34 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.report import format_table
-from repro.analysis.sweeps import throughput_sweep
+from repro.campaigns import ComparisonRecord, get_campaign, run_campaign
 from repro.core.estimator import ARCHITECTURES
 from repro.units import to_mW
 
-LOADS = [0.10, 0.20, 0.30, 0.40, 0.50]
-SLOTS = dict(arrival_slots=800, warmup_slots=160, seed=2002)
+CAMPAIGN = get_campaign("fig9")
+LOADS = list(CAMPAIGN.loads)
 
 
-def _sweep_all(ports):
-    return {
-        arch: throughput_sweep(arch, ports, loads=LOADS, **SLOTS)
+@pytest.mark.parametrize("ports", list(CAMPAIGN.ports))
+def test_fig9_power_vs_throughput(once, ports):
+    record: ComparisonRecord = once(
+        lambda: run_campaign(CAMPAIGN.replace(ports=(ports,)))
+    )
+    series = {
+        arch: record.select(architecture=arch, ports=ports)
         for arch in ARCHITECTURES
     }
-
-
-@pytest.mark.parametrize("ports", [4, 8, 16, 32])
-def test_fig9_power_vs_throughput(once, ports):
-    sweeps = once(lambda: _sweep_all(ports))
 
     print()
     rows = []
     for load_index, load in enumerate(LOADS):
         row = [f"{load:.2f}"]
         for arch in ARCHITECTURES:
-            point = sweeps[arch].points[load_index]
-            row.append(f"{point.throughput:.3f}/{to_mW(point.total_power_w):.3f}")
+            point = series[arch][load_index]
+            row.append(
+                f"{point['throughput']:.3f}/"
+                f"{to_mW(point['total_power_w']):.3f}"
+            )
         rows.append(row)
     print(
         format_table(
@@ -51,14 +58,14 @@ def test_fig9_power_vs_throughput(once, ports):
     )
 
     for arch in ARCHITECTURES:
-        powers = [p.total_power_w for p in sweeps[arch].points]
+        powers = [p["total_power_w"] for p in series[arch]]
         # Power must rise with load for every architecture.
         assert powers == sorted(powers), arch
 
     def slope_ratio(arch):
         """Power growth from 10% to 40% offered, normalised to 4x."""
-        pts = sweeps[arch].points
-        return (pts[3].total_power_w / pts[0].total_power_w) / 4.0
+        pts = series[arch]
+        return (pts[3]["total_power_w"] / pts[0]["total_power_w"]) / 4.0
 
     # Observation 3: near-linear for the three contention-free fabrics.
     for arch in ("crossbar", "fully_connected", "batcher_banyan"):
@@ -76,7 +83,7 @@ def test_fig9_power_vs_throughput(once, ports):
         assert banyan_slope > 1.3
 
     # Buffer share of banyan power rises with load.
-    banyan = sweeps["banyan"].points
-    low_share = banyan[0].buffer_power_w / banyan[0].total_power_w
-    high_share = banyan[3].buffer_power_w / banyan[3].total_power_w
+    banyan = series["banyan"]
+    low_share = banyan[0]["buffer_power_w"] / banyan[0]["total_power_w"]
+    high_share = banyan[3]["buffer_power_w"] / banyan[3]["total_power_w"]
     assert high_share > low_share

@@ -1,5 +1,11 @@
 """Regenerate paper Table 1: node-switch bit energy vs input vector.
 
+Thin wrapper over the ``table1`` campaign preset (``repro campaign run
+table1``): the campaign re-characterises every Table 1 entry through
+:mod:`repro.gatesim` and the test asserts both the campaign's point
+table and — via the record's runtime ``detail`` payload — the raw LUT
+structure.
+
 Paper flow: Synopsys Power Compiler on 0.18 um netlists.  Ours:
 :mod:`repro.gatesim` characterisation of the same four switch types,
 reported raw and with the single global calibration factor.
@@ -14,26 +20,37 @@ Shape requirements (asserted):
 from __future__ import annotations
 
 from repro.analysis.report import format_comparison, format_table
-from repro.gatesim.characterize import regenerate_table1
+from repro.campaigns import get_campaign, run_campaign
 from repro.units import to_fJ
+
+CAMPAIGN = get_campaign("table1")
 
 
 def _regenerate():
-    return regenerate_table1(cycles=256, seed=1)
+    return run_campaign(CAMPAIGN)
 
 
 def test_table1_regeneration(once):
-    result = once(_regenerate)
+    record = once(_regenerate)
+    result = record.detail
+
+    # The campaign's point table is exactly the characterisation output.
+    assert [p["entry"] for p in record.points] == sorted(result["raw"])
+    for p in record.points:
+        assert p["raw_j"] == result["raw"][p["entry"]]
+        assert p["calibrated_j"] == result["calibrated"][p["entry"]]
+        assert p["reference_j"] == result["reference"][p["entry"]]
+        assert p["scale"] == result["scale"]
 
     rows = []
-    for key in sorted(result["raw"]):
+    for p in record.points:
         rows.append(
             [
-                key,
-                to_fJ(result["raw"][key]),
-                to_fJ(result["calibrated"][key]),
-                to_fJ(result["reference"][key]),
-                result["calibrated"][key] / result["reference"][key],
+                p["entry"],
+                to_fJ(p["raw_j"]),
+                to_fJ(p["calibrated_j"]),
+                to_fJ(p["reference_j"]),
+                p["calibrated_j"] / p["reference_j"],
             ]
         )
     print()
@@ -70,6 +87,7 @@ def test_table1_regeneration(once):
     print(format_comparison("MUX N=4 -> N=32 growth", 2515 / 431, growth))
     assert 4.0 < growth < 8.5
     # Calibrated values inside a documented 3x envelope of Table 1.
-    for key, cal in result["calibrated"].items():
-        ref = result["reference"][key]
-        assert ref / 3 < cal < ref * 3, key
+    for p in record.points:
+        assert p["reference_j"] / 3 < p["calibrated_j"] < p["reference_j"] * 3, (
+            p["entry"]
+        )

@@ -1,5 +1,8 @@
 """Regenerate paper Table 2: buffer bit energy of the N x N Banyan.
 
+Thin wrapper over the ``table2`` campaign preset (``repro campaign run
+table2`` / ``repro campaign report table2``).
+
 Paper flow: read per-access energy off a 0.18 um 3.3 V SRAM datasheet
 at 133 MHz.  Ours: the analytical banked-SRAM model of
 :mod:`repro.memmodel.sram` (constants least-squares fitted once to the
@@ -10,26 +13,13 @@ extrapolate monotonically beyond the table.
 from __future__ import annotations
 
 from repro.analysis.report import format_table
-from repro.core import tables
-from repro.memmodel import SramMacro
-from repro.units import to_pJ
+from repro.campaigns import get_campaign, run_campaign
+
+CAMPAIGN = get_campaign("table2")
 
 
 def _regenerate():
-    rows = []
-    for ports in (4, 8, 16, 32, 64, 128):
-        macro = SramMacro.for_banyan(ports)
-        paper = tables.BANYAN_BUFFER_ENERGY_BY_PORTS.get(ports)
-        rows.append(
-            {
-                "ports": ports,
-                "switches": tables.banyan_switch_count(ports),
-                "sram_kbit": macro.size_bits // 1024,
-                "model_pj": to_pJ(macro.access_energy_per_bit_j),
-                "paper_pj": to_pJ(paper) if paper else None,
-            }
-        )
-    return rows
+    return run_campaign(CAMPAIGN).points
 
 
 def test_table2_regeneration(once):
@@ -44,8 +34,10 @@ def test_table2_regeneration(once):
                     f"{r['ports']}x{r['ports']}",
                     r["switches"],
                     r["sram_kbit"],
-                    f"{r['model_pj']:.1f}",
-                    f"{r['paper_pj']:.0f}" if r["paper_pj"] else "-",
+                    f"{r['model_pj_per_bit']:.1f}",
+                    f"{r['paper_pj_per_bit']:.0f}"
+                    if r["paper_pj_per_bit"]
+                    else "-",
                 ]
                 for r in rows
             ],
@@ -57,9 +49,15 @@ def test_table2_regeneration(once):
     # Published rows reproduced within 5%.
     for ports in (4, 8, 16, 32):
         row = by_ports[ports]
-        assert abs(row["model_pj"] - row["paper_pj"]) / row["paper_pj"] < 0.05
+        assert (
+            abs(row["model_pj_per_bit"] - row["paper_pj_per_bit"])
+            / row["paper_pj_per_bit"]
+            < 0.05
+        )
     # Monotone extrapolation beyond the table.
-    energies = [r["model_pj"] for r in rows]
+    energies = [r["model_pj_per_bit"] for r in rows]
     assert energies == sorted(energies)
     # The buffer penalty: even the cheapest row dwarfs E_T (87 fJ/grid).
+    from repro.core import tables
+
     assert min(energies) * 1e-12 > 100 * tables.PAPER_GRID_BIT_ENERGY_J

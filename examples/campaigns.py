@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Campaign walkthrough: a figure-sized comparison as one object.
+
+Declares a small Fig. 9-style campaign (two fabrics x two loads x two
+backends), runs it through the batch executor with a JSONL result
+cache, and shows what the aggregated ComparisonRecord can do: per-axis
+pivots, analytical-vs-simulated deltas, CSV/markdown export, and the
+zero-simulation warm re-run.  The built-in paper presets (``fig9``,
+``fig10``, ``table1``, ``table2``) work exactly the same at full size —
+see docs/REPRODUCING.md.
+
+Run:  python examples/campaigns.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.api.store import RunRecordStore
+from repro.campaigns import Campaign, ComparisonRecord, run_campaign
+from repro.units import to_mW
+
+
+def main() -> None:
+    campaign = Campaign(
+        name="mini_fig9",
+        title="Fig. 9 in miniature: 2 fabrics x 2 loads, both backends",
+        architectures=("crossbar", "banyan"),
+        ports=(8,),
+        loads=(0.2, 0.4),
+        backends=("simulate", "estimate"),
+        base={"arrival_slots": 400, "warmup_slots": 80, "seed": 42},
+    )
+    print(f"campaign {campaign.name}: {campaign.size()} points")
+    print("JSON round-trips:",
+          Campaign.from_json(campaign.to_json()) == campaign)
+    print()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "records.jsonl"
+
+        store = RunRecordStore(cache)
+        record = run_campaign(campaign, workers=2, store=store)
+        print(f"cold run : {store.stats()}")
+
+        # A warm cache serves every simulated point from disk.
+        store = RunRecordStore(cache)
+        again = run_campaign(campaign, store=store)
+        print(f"warm run : {store.stats()} (zero new simulations)")
+        assert again.to_csv() == record.to_csv()
+        print()
+
+    # Pivot: load rows x architecture columns of simulated total power.
+    pivot = record.pivot("load", "architecture", "total_power_w",
+                         where={"backend": "simulate"})
+    print("simulated total power (mW):")
+    for load, by_arch in pivot.items():
+        cells = ", ".join(
+            f"{arch}={to_mW(power):.4f}" for arch, power in by_arch.items()
+        )
+        print(f"  load {load}: {cells}")
+    print()
+
+    # Analytical-vs-simulated deltas, paired per operating point.
+    print("simulated vs closed-form:")
+    for delta in record.backend_deltas():
+        print(
+            f"  {delta['architecture']} @ {delta['load']}: "
+            f"sim {to_mW(delta['simulated']):.4f} mW vs "
+            f"est {to_mW(delta['estimated']):.4f} mW "
+            f"({delta['rel_delta']:+.1%})"
+        )
+    print()
+
+    # Deterministic exports (and a lossless JSON round-trip).
+    print("CSV head:")
+    print("\n".join(record.to_csv().splitlines()[:3]))
+    restored = ComparisonRecord.from_json(record.to_json())
+    print("record JSON round-trips:", restored.points == record.points)
+
+
+if __name__ == "__main__":
+    main()

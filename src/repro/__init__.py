@@ -33,6 +33,8 @@ Package map
 -----------
 - :mod:`repro.api` — scenarios, cached sessions, batch execution,
   the unified result schema (the public experiment surface).
+- :mod:`repro.campaigns` — declarative paper-reproduction campaigns
+  (Fig. 9/10, Tables 1/2) aggregated into comparison records.
 - :mod:`repro.core` — the bit-energy model (the paper's contribution).
 - :mod:`repro.tech` — technology nodes and the wire model.
 - :mod:`repro.thompson` — Thompson grid wire-length estimation.
@@ -69,6 +71,12 @@ from repro.api import (
     preset_scenarios,
     run_batch,
 )
+from repro.campaigns import (
+    Campaign,
+    ComparisonRecord,
+    get_campaign,
+    run_campaign,
+)
 
 __all__ = [
     "__version__",
@@ -96,4 +104,8 @@ __all__ = [
     "load_scenarios",
     "preset",
     "preset_scenarios",
+    "Campaign",
+    "ComparisonRecord",
+    "get_campaign",
+    "run_campaign",
 ]

@@ -21,10 +21,24 @@ This is the canonical way to describe and run experiments:
   ``to_json``/CSV export.
 * :class:`~repro.wire_modes.WireMode` — the single wire-accounting
   vocabulary, translated per backend.
+* :class:`RunRecordStore` — the append-only JSONL result cache keyed by
+  ``Scenario.content_hash()`` (``run_batch(store=...)``).
+
+Scenarios default to the vectorized slot-loop engine
+(``engine="vectorized"``; the object-based ``"reference"`` oracle is
+bit-identical) and resolve architectures through
+:mod:`repro.fabrics.registry`, so registered custom fabrics validate
+and run like the built-ins.
+
+One level up, :mod:`repro.campaigns` composes scenarios into
+declarative multi-configuration campaigns (the paper's figures and
+tables) executed through :meth:`PowerModel.run_batch` and aggregated
+into one ``ComparisonRecord``.
 
 The legacy entry points (``repro.estimate_power``,
 ``repro.run_simulation``) remain as compatibility shims over
-:func:`default_session`.
+:func:`default_session`.  The layer map lives in
+``docs/ARCHITECTURE.md``.
 """
 
 from repro.wire_modes import WireMode

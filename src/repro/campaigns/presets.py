@@ -1,0 +1,112 @@
+"""Built-in campaign presets: the paper's figures and tables.
+
+Each preset pins the *same* grid the corresponding legacy benchmark
+script sweeps (``benchmarks/bench_fig9_throughput_sweep.py`` etc.), so
+``repro campaign run fig9`` reproduces those numbers bit-for-bit — the
+bench scripts are now thin wrappers over these presets.
+
+========  =======  ==========================================  =====================================
+preset    kind     grid                                        paper artefact
+========  =======  ==========================================  =====================================
+fig9      grid     4 fabrics x {4,8,16,32} ports x 5 loads     Fig. 9 power vs throughput
+fig10     grid     4 fabrics x {4,8,16,32} ports x 6 loads,    Fig. 10 power vs ports at 50%
+                   read off at 50% egress throughput
+table1    table1   9 switch entries, gate-level               Table 1 node-switch bit energy
+table2    table2   banyan SRAM rows 4..128 ports              Table 2 buffer bit energy
+========  =======  ==========================================  =====================================
+
+See ``docs/REPRODUCING.md`` for the full figure/table <-> preset <->
+CLI command matrix.
+"""
+
+from __future__ import annotations
+
+from repro.core.estimator import ARCHITECTURES
+from repro.errors import ConfigurationError
+
+from repro.campaigns.campaign import Campaign
+
+#: The legacy fig9/fig10 bench parameters (kept bit-identical).
+_BENCH_SLOTS = dict(arrival_slots=800, warmup_slots=160, seed=2002)
+_BENCH_PORTS = (4, 8, 16, 32)
+
+
+def _fig9() -> Campaign:
+    return Campaign(
+        name="fig9",
+        title="Fig. 9 — power vs egress throughput, all fabrics",
+        architectures=ARCHITECTURES,
+        ports=_BENCH_PORTS,
+        loads=(0.10, 0.20, 0.30, 0.40, 0.50),
+        base=_BENCH_SLOTS,
+    )
+
+
+def _fig10() -> Campaign:
+    return Campaign(
+        name="fig10",
+        title="Fig. 10 — power vs port count at 50% throughput",
+        architectures=ARCHITECTURES,
+        ports=_BENCH_PORTS,
+        loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.55),
+        base=_BENCH_SLOTS,
+        params={"target_throughput": 0.50},
+    )
+
+
+def _table1() -> Campaign:
+    return Campaign(
+        name="table1",
+        kind="table1",
+        title="Table 1 — node-switch bit energy (gate-level)",
+        params={"cycles": 256, "seed": 1},
+    )
+
+
+def _table2() -> Campaign:
+    return Campaign(
+        name="table2",
+        kind="table2",
+        title="Table 2 — banyan buffer bit energy (SRAM model)",
+        params={"ports": [4, 8, 16, 32, 64, 128]},
+    )
+
+
+def _fig9_vs_analytical() -> Campaign:
+    """Fig. 9 grid run through *both* backends, for delta reports."""
+    return Campaign(
+        name="fig9_vs_analytical",
+        title="Fig. 9 grid, simulated vs closed-form deltas",
+        architectures=ARCHITECTURES,
+        ports=_BENCH_PORTS,
+        loads=(0.10, 0.20, 0.30, 0.40, 0.50),
+        backends=("simulate", "estimate"),
+        base=_BENCH_SLOTS,
+    )
+
+
+#: Factories for the named campaign presets.
+PRESET_CAMPAIGNS = {
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "table1": _table1,
+    "table2": _table2,
+    "fig9_vs_analytical": _fig9_vs_analytical,
+}
+
+
+def campaign_names() -> list[str]:
+    """Sorted names of the built-in presets."""
+    return sorted(PRESET_CAMPAIGNS)
+
+
+def get_campaign(name: str) -> Campaign:
+    """The named preset campaign (a fresh instance)."""
+    try:
+        factory = PRESET_CAMPAIGNS[name]
+    except KeyError:
+        known = ", ".join(campaign_names())
+        raise ConfigurationError(
+            f"unknown campaign {name!r}; known campaigns: {known}"
+        ) from None
+    return factory()

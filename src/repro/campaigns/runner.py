@@ -1,0 +1,215 @@
+"""Campaign execution: scenario grids through ``run_batch``, tables
+through their dedicated models.
+
+:func:`run_campaign` is the single entry point: it turns any
+:class:`~repro.campaigns.campaign.Campaign` into a
+:class:`~repro.campaigns.comparison.ComparisonRecord`.
+
+* Grid campaigns fan their derived scenario grid out over
+  :meth:`repro.api.PowerModel.run_batch` — thread or process executor,
+  optional :class:`~repro.api.store.RunRecordStore` JSONL cache — so a
+  re-run of an already-measured campaign is served entirely from disk
+  (``repro campaign run fig9 --cache records.jsonl`` twice simulates
+  nothing the second time).
+* ``table1`` campaigns re-characterise the node switches at gate level
+  (:func:`repro.gatesim.characterize.regenerate_table1`).
+* ``table2`` campaigns evaluate the banked-SRAM buffer model
+  (:class:`repro.memmodel.SramMacro`).
+
+:func:`campaign_plan` returns the per-point axis assignments *without*
+executing anything — the CLI's ``--dry-run`` (and the CI preset-rot
+check) use it to validate a campaign cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+from repro.api.model import PowerModel, default_session
+from repro.api.records import RunRecord
+from repro.api.store import RunRecordStore
+
+from repro.campaigns.campaign import Campaign, GRID_AXES
+from repro.campaigns.comparison import ComparisonRecord
+
+#: Metric columns of a grid campaign's points (RunRecord headline
+#: numbers, in CSV column order).
+GRID_METRICS = (
+    "throughput",
+    "total_power_w",
+    "switch_power_w",
+    "wire_power_w",
+    "buffer_power_w",
+    "energy_per_bit_j",
+)
+
+TABLE1_AXES = ("entry",)
+TABLE1_METRICS = ("raw_j", "calibrated_j", "reference_j", "scale")
+
+TABLE2_AXES = ("ports",)
+TABLE2_METRICS = ("switches", "sram_kbit", "model_pj_per_bit", "paper_pj_per_bit")
+
+_DEFAULT_TABLE2_PORTS = (4, 8, 16, 32, 64, 128)
+
+
+def _grid_axis_values(scenario) -> dict[str, Any]:
+    tech = scenario.tech
+    load = scenario.load
+    return {
+        "backend": scenario.backend,
+        "traffic": scenario.traffic,
+        "architecture": scenario.architecture,
+        "tech": tech if isinstance(tech, str) else tech.name,
+        "ports": scenario.ports,
+        "load": list(load) if isinstance(load, tuple) else load,
+    }
+
+
+def _grid_point(record: RunRecord) -> dict[str, Any]:
+    point = _grid_axis_values(record.scenario)
+    for metric in GRID_METRICS:
+        point[metric] = getattr(record, metric)
+    return point
+
+
+def campaign_plan(campaign: Campaign) -> list[dict[str, Any]]:
+    """Per-point axis assignments, without executing anything."""
+    if campaign.kind == "grid":
+        return [_grid_axis_values(s) for s in campaign.scenarios()]
+    if campaign.kind == "table2":
+        ports = campaign.params_dict.get("ports", _DEFAULT_TABLE2_PORTS)
+        return [{"ports": int(p)} for p in ports]
+    # table1: the entry list owned by the characterisation module.
+    from repro.gatesim.characterize import TABLE1_ENTRIES
+
+    return [{"entry": entry} for entry in sorted(TABLE1_ENTRIES)]
+
+
+def _run_grid(
+    campaign: Campaign,
+    session: PowerModel,
+    workers: int | None,
+    executor: str,
+    store: RunRecordStore | None,
+) -> ComparisonRecord:
+    records = session.run_batch(
+        campaign.scenarios(), workers=workers, executor=executor, store=store
+    )
+    return ComparisonRecord(
+        campaign=campaign,
+        axes=GRID_AXES,
+        metrics=GRID_METRICS,
+        points=[_grid_point(r) for r in records],
+        detail=records,
+    )
+
+
+def _run_table1(campaign: Campaign) -> ComparisonRecord:
+    from repro.gatesim.characterize import regenerate_table1
+
+    params = campaign.params_dict
+    known = {"cycles", "seed"}
+    unknown = set(params) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown table1 params: {sorted(unknown)}"
+        )
+    result = regenerate_table1(
+        cycles=int(params.get("cycles", 192)),
+        seed=int(params.get("seed", 1)),
+    )
+    points = [
+        {
+            "entry": entry,
+            "raw_j": result["raw"][entry],
+            "calibrated_j": result["calibrated"][entry],
+            "reference_j": result["reference"][entry],
+            "scale": result["scale"],
+        }
+        for entry in sorted(result["raw"])
+    ]
+    return ComparisonRecord(
+        campaign=campaign,
+        axes=TABLE1_AXES,
+        metrics=TABLE1_METRICS,
+        points=points,
+        detail=result,
+    )
+
+
+def _run_table2(campaign: Campaign) -> ComparisonRecord:
+    from repro.core import tables
+    from repro.memmodel import SramMacro
+    from repro.units import to_pJ
+
+    params = campaign.params_dict
+    unknown = set(params) - {"ports"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown table2 params: {sorted(unknown)}"
+        )
+    points = []
+    macros = {}
+    for ports in params.get("ports", _DEFAULT_TABLE2_PORTS):
+        ports = int(ports)
+        macro = SramMacro.for_banyan(ports)
+        macros[ports] = macro
+        paper = tables.BANYAN_BUFFER_ENERGY_BY_PORTS.get(ports)
+        points.append(
+            {
+                "ports": ports,
+                "switches": tables.banyan_switch_count(ports),
+                "sram_kbit": macro.size_bits // 1024,
+                "model_pj_per_bit": to_pJ(macro.access_energy_per_bit_j),
+                "paper_pj_per_bit": to_pJ(paper) if paper else None,
+            }
+        )
+    return ComparisonRecord(
+        campaign=campaign,
+        axes=TABLE2_AXES,
+        metrics=TABLE2_METRICS,
+        points=points,
+        detail=macros,
+    )
+
+
+def run_campaign(
+    campaign: Campaign | str,
+    session: PowerModel | None = None,
+    workers: int | None = None,
+    executor: str = "thread",
+    store: RunRecordStore | None = None,
+) -> ComparisonRecord:
+    """Execute a campaign (or preset name) into a comparison record.
+
+    Parameters
+    ----------
+    campaign:
+        A :class:`Campaign` or a built-in preset name (``"fig9"``,
+        ``"fig10"``, ``"table1"``, ``"table2"``, ...).
+    session:
+        The :class:`~repro.api.PowerModel` to run grid points through
+        (default: the shared session — its cached energy models are
+        reused across campaign runs).
+    workers / executor:
+        Forwarded to :meth:`~repro.api.PowerModel.run_batch` for grid
+        campaigns (thread or process fan-out); ignored by table kinds.
+    store:
+        Optional JSONL :class:`~repro.api.store.RunRecordStore`:
+        already-measured grid points are served from disk, fresh ones
+        appended — a warm cache re-runs a campaign with zero new
+        simulations.
+    """
+    if isinstance(campaign, str):
+        from repro.campaigns.presets import get_campaign
+
+        campaign = get_campaign(campaign)
+    if campaign.kind == "table1":
+        return _run_table1(campaign)
+    if campaign.kind == "table2":
+        return _run_table2(campaign)
+    if session is None:
+        session = default_session()
+    return _run_grid(campaign, session, workers, executor, store)

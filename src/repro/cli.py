@@ -6,12 +6,15 @@ Commands
 ``simulate``   bit-accurate simulation of one operating point.
 ``sweep``      Fig. 9-style throughput sweep for one architecture.
 ``batch``      run a JSON file of scenarios (mixed backends) in parallel.
+``campaign``   run/list/report declarative paper-reproduction campaigns.
 ``table1``     regenerate Table 1 via gate-level characterisation.
 ``table2``     regenerate Table 2 via the SRAM model.
 
 ``estimate``/``simulate``/``sweep`` are thin wrappers over the
-:mod:`repro.api` session layer; ``batch`` is its native front end.  All
-commands share one :class:`~repro.wire_modes.WireMode` vocabulary for
+:mod:`repro.api` session layer; ``batch`` is its native front end and
+``campaign`` fronts :mod:`repro.campaigns` (whole figures/tables as one
+cached, parallel batch — see ``docs/REPRODUCING.md``).  All commands
+share one :class:`~repro.wire_modes.WireMode` vocabulary for
 ``--wire-mode`` (``worst_case``/``expected``/``per_link``), translated
 per backend.
 
@@ -23,12 +26,15 @@ Examples
     python -m repro simulate --arch crossbar --ports 16 --load 0.4 --slots 2000
     python -m repro sweep --arch batcher_banyan --ports 8
     python -m repro batch examples/scenarios.json --workers 4
+    python -m repro campaign run fig9 --cache records.jsonl --csv fig9.csv
+    python -m repro campaign report table2
     python -m repro table2
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.report import format_table
@@ -171,6 +177,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report to this file instead of stdout "
         "(a one-line summary still prints)",
     )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="declarative paper-reproduction campaigns (figures/tables)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    def _add_campaign_exec(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "name",
+            help="built-in preset (repro campaign list) or a campaign "
+            "JSON file",
+        )
+        p.add_argument(
+            "--workers", type=int, default=1, help="worker-pool width"
+        )
+        p.add_argument(
+            "--executor",
+            choices=("thread", "process"),
+            default="thread",
+            help="worker pool kind for grid campaigns",
+        )
+        p.add_argument(
+            "--cache",
+            default=None,
+            metavar="PATH",
+            help="JSONL result cache; a warm cache re-runs the campaign "
+            "with zero new simulations",
+        )
+
+    run_p = campaign_sub.add_parser(
+        "run", help="execute a campaign into a ComparisonRecord"
+    )
+    _add_campaign_exec(run_p)
+    run_p.add_argument(
+        "--format",
+        choices=("table", "csv", "json", "markdown"),
+        default="table",
+        help="report format written to stdout (or --output)",
+    )
+    run_p.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    run_p.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        dest="csv_path",
+        help="additionally export the record as CSV to this file",
+    )
+    run_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="additionally export the record as JSON to this file",
+    )
+    run_p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="validate the campaign and print its point plan without "
+        "executing anything",
+    )
+
+    campaign_sub.add_parser(
+        "list", help="list the built-in campaign presets"
+    )
+
+    report_p = campaign_sub.add_parser(
+        "report",
+        help="execute (cache-aware) and print the paper-style report",
+    )
+    _add_campaign_exec(report_p)
 
     t1 = sub.add_parser("table1", help="regenerate Table 1 (gate level)")
     t1.add_argument("--cycles", type=int, default=192)
@@ -316,6 +398,161 @@ def cmd_batch(args) -> int:
     return 0
 
 
+def _resolve_campaign(name: str):
+    """A preset name or a campaign JSON file path -> :class:`Campaign`."""
+    from pathlib import Path
+
+    from repro.campaigns import Campaign, PRESET_CAMPAIGNS, get_campaign
+
+    if name in PRESET_CAMPAIGNS:
+        return get_campaign(name)
+    path = Path(name)
+    if path.exists():
+        return Campaign.from_json(path.read_text())
+    if name.endswith(".json"):
+        raise ConfigurationError(f"cannot read campaign file {name!r}")
+    return get_campaign(name)  # raises with the known-presets list
+
+
+def _campaign_store(args, campaign):
+    """A RunRecordStore for grid campaigns; table kinds do not run
+    scenarios, so grid-only flags are called out instead of silently
+    ignored (and no misleading cache stats get printed)."""
+    if campaign.kind != "grid":
+        ignored = [
+            flag
+            for flag, given in (
+                ("--cache", args.cache),
+                ("--workers", args.workers > 1),
+                ("--executor", args.executor != "thread"),
+            )
+            if given
+        ]
+        if ignored:
+            print(
+                f"note: {campaign.kind!r} campaigns run no scenario "
+                f"batch; ignoring {', '.join(ignored)}",
+                file=sys.stderr,
+            )
+        return None
+    if not args.cache:
+        return None
+    from repro.api.store import RunRecordStore
+
+    return RunRecordStore(args.cache)
+
+
+def _campaign_cache_stats(args, store) -> None:
+    if store is not None:
+        stats = store.stats()
+        print(
+            f"cache {args.cache}: {stats['hits']} hits, "
+            f"{stats['misses']} misses, {stats['entries']} entries",
+            file=sys.stderr,
+        )
+
+
+def cmd_campaign(args) -> int:
+    from pathlib import Path
+
+    from repro.campaigns import (
+        campaign_names,
+        campaign_plan,
+        get_campaign,
+        render_report,
+        run_campaign,
+    )
+
+    if args.campaign_command == "list":
+        rows = []
+        for name in campaign_names():
+            preset = get_campaign(name)
+            rows.append([name, preset.kind, preset.size(), preset.title])
+        print(
+            format_table(
+                ["name", "kind", "points", "title"],
+                rows,
+                title="built-in campaign presets",
+            )
+        )
+        return 0
+
+    campaign = _resolve_campaign(args.name)
+
+    if args.campaign_command == "report":
+        store = _campaign_store(args, campaign)
+        record = run_campaign(
+            campaign,
+            workers=args.workers,
+            executor=args.executor,
+            store=store,
+        )
+        _campaign_cache_stats(args, store)
+        print(render_report(record))
+        return 0
+
+    # run
+    if args.dry_run:
+        plan = campaign_plan(campaign)
+        print(
+            f"campaign {campaign.name} ({campaign.kind}): "
+            f"{len(plan)} points"
+        )
+        for point in plan:
+            print("  " + ", ".join(f"{k}={v}" for k, v in point.items()))
+        return 0
+    store = _campaign_store(args, campaign)
+    record = run_campaign(
+        campaign,
+        workers=args.workers,
+        executor=args.executor,
+        store=store,
+    )
+    _campaign_cache_stats(args, store)
+    if args.csv_path:
+        Path(args.csv_path).write_text(record.to_csv())
+        print(f"{len(record.points)} points -> {args.csv_path}",
+              file=sys.stderr)
+    if args.json_path:
+        Path(args.json_path).write_text(record.to_json() + "\n")
+        print(f"{len(record.points)} points -> {args.json_path}",
+              file=sys.stderr)
+    if args.format == "csv":
+        report = record.to_csv()
+    elif args.format == "json":
+        report = record.to_json()
+    elif args.format == "markdown":
+        report = record.to_markdown()
+    else:
+        rows = [
+            [_cell(point.get(col)) for col in record.columns]
+            for point in record.points
+        ]
+        report = format_table(
+            list(record.columns),
+            rows,
+            title=f"campaign {campaign.name}: {len(record.points)} points",
+        )
+    if args.output:
+        Path(args.output).write_text(
+            report if report.endswith("\n") else report + "\n"
+        )
+        print(f"campaign {campaign.name} -> {args.output}")
+    else:
+        # CSV already ends with a newline; don't add a second one, so
+        # stdout and --csv/--output files stay byte-identical.
+        print(report, end="" if report.endswith("\n") else "\n")
+    return 0
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
 def cmd_table1(args) -> int:
     from repro.gatesim.characterize import regenerate_table1
     from repro.units import to_fJ
@@ -364,6 +601,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
     "batch": cmd_batch,
+    "campaign": cmd_campaign,
     "table1": cmd_table1,
     "table2": cmd_table2,
 }
@@ -374,14 +612,25 @@ def main(argv: list[str] | None = None) -> int:
 
     Library configuration errors print as one ``error:`` line (exit 2)
     instead of a traceback — scenario-file typos and bad parameter
-    combinations are user errors, not crashes.
+    combinations are user errors, not crashes.  A downstream pager
+    closing the pipe (``repro campaign run fig9 | head``) is a clean
+    exit, not a traceback.
     """
     args = build_parser().parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
+        # Flush inside the try: a closed pipe on a small (still
+        # buffered) output must surface here, not at shutdown.
+        sys.stdout.flush()
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Reopen stdout on devnull so the interpreter's shutdown flush
+        # does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,4 +1,16 @@
-"""Factories wiring fabrics to their default (paper) energy models."""
+"""Factories wiring fabrics to their default (paper) energy models.
+
+:func:`build_fabric` resolves architecture names — built-ins, aliases
+and custom fabrics alike — through :mod:`repro.fabrics.registry` (a
+registered entry's ``models_factory`` supplies its defaults), and
+:func:`default_models` assembles the Table 1/Table 2
+:class:`~repro.core.bit_energy.EnergyModelSet` for the four paper
+architectures.  Sweeps should not call :func:`default_models` per
+point: :class:`repro.api.PowerModel` sessions pass their cached
+wire/LUT/buffer components in, building each exactly once per
+technology.  See ``docs/ARCHITECTURE.md`` for where the factory sits
+in the stack.
+"""
 
 from __future__ import annotations
 

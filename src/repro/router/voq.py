@@ -12,11 +12,17 @@ This module extends the reproduction with that design point:
 * :class:`VoqIngressUnit` — per-destination FIFO queues at each port;
 * :class:`IslipArbiter` — request/grant/accept matching with the iSLIP
   pointer-update rule (pointers advance only past *accepted* grants);
-* :class:`VoqNetworkRouter` — drop-in router variant; the engine needs
-  no changes because arbitration is router-owned.
+* :class:`VoqNetworkRouter` — drop-in router variant: the reference
+  engine runs it unchanged because arbitration is router-owned, and the
+  vectorized engine recognises it and switches to its array-based
+  VOQ/iSLIP path (occupancy matrices, batched grant/accept reductions
+  in :mod:`repro.sim.vector_engine`) with bit-identical results.
 
-The `bench_ablation_voq` bench and `test_router_voq` suite quantify the
-gain against the paper's baseline.
+The `bench_ablation_voq` and `bench_voq` benches and the
+`test_router_voq` / `test_engine_equivalence` suites quantify the gain
+against the paper's baseline and pin the two engines to each other.
+``Scenario(queueing="voq", islip_iterations=K)`` and ``repro simulate
+--queueing voq`` select this router; see ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations

@@ -4,7 +4,8 @@ One engine slot is the line-rate time of one cell.  Per slot:
 
 1. the traffic generator's packets enter their ingress queues;
 2. the arbiter grants a destination-distinct set of head-of-line cells,
-   respecting fabric admission (banyan backpressure);
+   respecting fabric admission (banyan backpressure) — FIFO round-robin
+   or, for VOQ routers, K-iteration iSLIP matching;
 3. the fabric transports cells (paying switch/wire/buffer energy);
 4. delivered cells are accounted (and reassembled) at egress.
 
@@ -12,6 +13,16 @@ The run is split into three phases: *warmup* (statistics discarded at
 the end), *measurement* (arrivals continue; power and throughput come
 from this window), and *drain* (arrivals stop; the fabric and queues
 flush so no energy is silently lost).
+
+Two implementations share these semantics and one seeded RNG stream:
+this module's object-based :class:`SimulationEngine` (the reference
+oracle) and the struct-of-arrays
+:class:`~repro.sim.vector_engine.VectorizedEngine` (the default,
+several times faster).  :func:`create_engine` selects between them,
+resolving fabric support through :mod:`repro.fabrics.registry`; the
+exact-equality cross-check matrix in
+``tests/test_engine_equivalence.py`` keeps them bit-identical.  The
+slot data flow of both engines is drawn in ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
