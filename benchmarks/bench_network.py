@@ -1,0 +1,136 @@
+"""Network-run benchmark: fat-tree k=4 wall-clock, cold vs cached.
+
+The acceptance benchmark of the network subsystem: run the 20-switch
+``fat_tree_k4`` preset cold (every router simulated through
+``run_batch``) and again against the warm JSONL scenario cache, verify
+the cached run simulates **nothing** and both records export
+byte-identically, and report the wall-clock of each path plus the
+speedup.  The cache path is what network campaigns lean on, so a
+regression here slows every warm `repro network`/`repro campaign`
+invocation.
+
+Run as a script (what CI does) to write the machine-readable artifact::
+
+    PYTHONPATH=src python benchmarks/bench_network.py --output BENCH_network.json
+
+or through pytest alongside the other benches::
+
+    pytest benchmarks/bench_network.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api.model import PowerModel
+from repro.api.store import RunRecordStore
+from repro.network import NetworkPowerModel, get_network
+
+PRESET = "fat_tree_k4"
+
+
+def run_benchmark(workers: int = 4, repeats: int = 3) -> dict:
+    """Cold vs cached fat-tree runs; returns the report.
+
+    The cold path reports its best (minimum wall-clock) repetition with
+    a fresh session and store each time; the cached path re-reads the
+    same warm store.
+    """
+    spec = get_network(PRESET)
+    report = {
+        "benchmark": "network",
+        "preset": PRESET,
+        "nodes": len(spec.topology.nodes),
+        "links": len(spec.topology.links),
+        "routing": spec.routing,
+        "workers": workers,
+        "repeats": repeats,
+        "python": platform.python_version(),
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "records.jsonl"
+        best_cold = None
+        cold_record = None
+        for i in range(repeats):
+            cache_i = Path(tmp) / f"records_{i}.jsonl"
+            model = NetworkPowerModel(PowerModel())
+            start = time.perf_counter()
+            record = model.run(
+                spec, workers=workers, store=RunRecordStore(cache_i)
+            )
+            seconds = time.perf_counter() - start
+            if best_cold is None or seconds < best_cold:
+                best_cold = seconds
+                cold_record = record
+            if i == 0:
+                cache_i.rename(cache)
+        best_warm = None
+        warm_record = None
+        warm_misses = None
+        for _ in range(repeats):
+            store = RunRecordStore(cache)
+            model = NetworkPowerModel(PowerModel())
+            start = time.perf_counter()
+            record = model.run(spec, workers=workers, store=store)
+            seconds = time.perf_counter() - start
+            if best_warm is None or seconds < best_warm:
+                best_warm = seconds
+                warm_record = record
+                warm_misses = store.stats()["misses"]
+        report["cold_seconds"] = round(best_cold, 4)
+        report["cached_seconds"] = round(best_warm, 4)
+        report["cache_speedup"] = round(best_cold / best_warm, 2)
+        report["cached_misses"] = warm_misses
+        report["identical_exports"] = (
+            cold_record.to_csv() == warm_record.to_csv()
+            and cold_record.links_to_csv() == warm_record.links_to_csv()
+        )
+        report["total_power_w"] = cold_record.totals["power_w"]
+        report["max_link_utilization"] = cold_record.totals[
+            "max_link_utilization"
+        ]
+    return report
+
+
+def test_network_cache_speedup_and_exactness():
+    """Pytest entry: warm cache simulates nothing, exports identical."""
+    report = run_benchmark(workers=2, repeats=2)
+    print()
+    print(json.dumps(report, indent=2))
+    assert report["cached_misses"] == 0, "warm cache re-simulated scenarios"
+    assert report["identical_exports"], "cold and cached exports diverged"
+    # Serving 20 routers from disk must beat simulating them.
+    assert report["cache_speedup"] >= 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default="BENCH_network.json", help="report path"
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    report = run_benchmark(workers=args.workers, repeats=args.repeats)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"{PRESET} ({report['nodes']} routers): cold "
+        f"{report['cold_seconds']}s, cached {report['cached_seconds']}s "
+        f"({report['cache_speedup']}x), cached_misses="
+        f"{report['cached_misses']}, identical="
+        f"{report['identical_exports']} -> {args.output}"
+    )
+    # CI gate: a warm cache must never simulate, nor change the export.
+    ok = report["cached_misses"] == 0 and report["identical_exports"]
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

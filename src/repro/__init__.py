@@ -35,6 +35,9 @@ Package map
   the unified result schema (the public experiment surface).
 - :mod:`repro.campaigns` — declarative paper-reproduction campaigns
   (Fig. 9/10, Tables 1/2) aggregated into comparison records.
+- :mod:`repro.network` — network-level data-plane power: topologies,
+  traffic matrices, routing, and aggregate router power (per-router
+  scenarios derived from routed per-port loads).
 - :mod:`repro.core` — the bit-energy model (the paper's contribution).
 - :mod:`repro.tech` — technology nodes and the wire model.
 - :mod:`repro.thompson` — Thompson grid wire-length estimation.
@@ -74,8 +77,18 @@ from repro.api import (
 from repro.campaigns import (
     Campaign,
     ComparisonRecord,
+    DerivedRecordStore,
     get_campaign,
     run_campaign,
+)
+from repro.network import (
+    NetworkPowerModel,
+    NetworkRecord,
+    NetworkSpec,
+    NetworkTopology,
+    TrafficMatrix,
+    get_network,
+    run_network,
 )
 
 __all__ = [
@@ -106,6 +119,14 @@ __all__ = [
     "preset_scenarios",
     "Campaign",
     "ComparisonRecord",
+    "DerivedRecordStore",
     "get_campaign",
     "run_campaign",
+    "NetworkTopology",
+    "TrafficMatrix",
+    "NetworkSpec",
+    "NetworkPowerModel",
+    "NetworkRecord",
+    "get_network",
+    "run_network",
 ]

@@ -23,6 +23,10 @@ This is the canonical way to describe and run experiments:
   vocabulary, translated per backend.
 * :class:`RunRecordStore` — the append-only JSONL result cache keyed by
   ``Scenario.content_hash()`` (``run_batch(store=...)``).
+* :class:`DerivedRecordStore` — the derived-figure cache of whole
+  aggregated records (campaign ``ComparisonRecord`` / network
+  ``NetworkRecord`` JSON keyed by content hash), so warm reports need
+  no session.
 
 Scenarios default to the vectorized slot-loop engine
 (``engine="vectorized"``; the object-based ``"reference"`` oracle is
@@ -64,6 +68,7 @@ from repro.api.model import (
     reset_default_session,
     run_batch,
 )
+from repro.api.figstore import DerivedRecordStore
 from repro.api.store import RunRecordStore
 
 __all__ = [
@@ -85,4 +90,5 @@ __all__ = [
     "reset_default_session",
     "run_batch",
     "RunRecordStore",
+    "DerivedRecordStore",
 ]

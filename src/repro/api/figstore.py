@@ -1,0 +1,99 @@
+"""On-disk derived-figure cache: whole aggregated records, not points.
+
+:class:`~repro.api.store.RunRecordStore` caches *per-scenario* results;
+campaign reports still needed a session to re-aggregate them.  The
+:class:`DerivedRecordStore` closes that gap: it persists whole derived
+records — :class:`~repro.campaigns.comparison.ComparisonRecord` JSON
+keyed by ``Campaign.content_hash()``, :class:`~repro.network.power.
+NetworkRecord` JSON keyed by ``NetworkSpec.content_hash()`` — so
+``repro campaign report --figures`` and ``repro network run --figures``
+against a warm store need **no session at all**.
+
+The store is deliberately type-agnostic (keys map to ``(kind, dict)``
+payloads) so the api layer does not import the campaigns or network
+layers; the typed ``from_dict`` reconstruction happens at the caller.
+Same JSONL durability contract as the run-record store: append-only
+whole lines, corrupt trailers degrade to misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+
+class DerivedRecordStore:
+    """JSONL-backed ``(kind, content hash) -> record dict`` cache.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file.  Created (with parents) on first :meth:`put`;
+        an existing file is loaded eagerly.  Lines are
+        ``{"key": ..., "kind": ..., "record": {...}}``.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._records: dict[tuple[str, str], dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.skipped_lines = 0
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = (str(entry["kind"]), str(entry["key"]))
+                    record = entry["record"]
+                    if not isinstance(record, dict):
+                        raise TypeError("record payload must be an object")
+                except (KeyError, TypeError, ValueError):
+                    # Partial/foreign line: degrade to a miss, never error.
+                    self.skipped_lines += 1
+                    continue
+                self._records[key] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str, kind: str) -> dict[str, Any] | None:
+        """The cached record dict for (kind, key), or None (a miss)."""
+        record = self._records.get((kind, key))
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def put(self, key: str, kind: str, record: dict[str, Any]) -> None:
+        """Persist a freshly derived record (one appended JSONL line)."""
+        if (kind, key) in self._records:
+            self._records[(kind, key)] = record
+            return
+        self._records[(kind, key)] = record
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"key": key, "kind": kind, "record": record})
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._records),
+            "hits": self.hits,
+            "misses": self.misses,
+            "skipped_lines": self.skipped_lines,
+        }

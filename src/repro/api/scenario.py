@@ -112,8 +112,8 @@ class Scenario:
         One name, one axis — the ``throughput`` vs ``load`` split of the
         legacy entry points is gone.  The simulated backend also
         accepts a per-port vector (one load per ingress port, stored as
-        a tuple); ``bursty`` traffic and the analytical backend need a
-        scalar.
+        a tuple) for every traffic kind — ``bursty`` calibrates its
+        on/off dwell per port; the analytical backend needs a scalar.
     backend:
         ``"simulate"`` (bit-accurate, default) or ``"estimate"``
         (closed-form).  :meth:`repro.api.PowerModel.run` dispatches on
@@ -233,11 +233,6 @@ class Scenario:
             object.__setattr__(
                 self, "load", tuple(float(value) for value in self.load)
             )
-            if self.traffic == "bursty":
-                raise ConfigurationError(
-                    "bursty traffic needs a scalar load "
-                    "(its on/off calibration is per-process)"
-                )
         # Shared scalar/vector validation (length + [0, 1] range) —
         # the same rules the traffic layer enforces at build time.
         per_port_loads(self.load, self.ports)

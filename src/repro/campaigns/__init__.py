@@ -19,14 +19,21 @@ analytical-vs-simulated deltas and CSV/JSON/markdown export:
   result cache) or the table models.
 * :func:`get_campaign` / :data:`PRESET_CAMPAIGNS` — the built-in
   presets (``fig9``, ``fig10``, ``table1``, ``table2``,
-  ``fig9_vs_analytical``).
+  ``fig9_vs_analytical``, plus the network kinds
+  ``fat_tree_k4_sweep`` and ``dumbbell_switchoff``).
 * :func:`render_report` — paper-style text report of a record.
+* ``kind="network"`` campaigns sweep a :class:`repro.network`
+  spec over demand scales (per-node rows under (scale, node) axes).
+* :class:`~repro.api.figstore.DerivedRecordStore` (re-exported here) —
+  the derived-figure cache: ``run_campaign(figures=...)`` serves a
+  warm campaign without a session.
 
 CLI front end: ``repro campaign run|list|report`` (see
 ``docs/REPRODUCING.md`` for the figure/table <-> preset <-> command
 matrix).
 """
 
+from repro.api.figstore import DerivedRecordStore
 from repro.campaigns.campaign import CAMPAIGN_KINDS, Campaign, GRID_AXES
 from repro.campaigns.comparison import ComparisonRecord
 from repro.campaigns.presets import (
@@ -37,6 +44,9 @@ from repro.campaigns.presets import (
 from repro.campaigns.reporting import render_report
 from repro.campaigns.runner import (
     GRID_METRICS,
+    NETWORK_AXES,
+    NETWORK_METRICS,
+    NETWORK_TOTAL_NODE,
     campaign_plan,
     run_campaign,
 )
@@ -46,7 +56,11 @@ __all__ = [
     "CAMPAIGN_KINDS",
     "GRID_AXES",
     "GRID_METRICS",
+    "NETWORK_AXES",
+    "NETWORK_METRICS",
+    "NETWORK_TOTAL_NODE",
     "ComparisonRecord",
+    "DerivedRecordStore",
     "PRESET_CAMPAIGNS",
     "campaign_names",
     "get_campaign",

@@ -5,15 +5,17 @@ script sweeps (``benchmarks/bench_fig9_throughput_sweep.py`` etc.), so
 ``repro campaign run fig9`` reproduces those numbers bit-for-bit — the
 bench scripts are now thin wrappers over these presets.
 
-========  =======  ==========================================  =====================================
-preset    kind     grid                                        paper artefact
-========  =======  ==========================================  =====================================
-fig9      grid     4 fabrics x {4,8,16,32} ports x 5 loads     Fig. 9 power vs throughput
-fig10     grid     4 fabrics x {4,8,16,32} ports x 6 loads,    Fig. 10 power vs ports at 50%
-                   read off at 50% egress throughput
-table1    table1   9 switch entries, gate-level               Table 1 node-switch bit energy
-table2    table2   banyan SRAM rows 4..128 ports              Table 2 buffer bit energy
-========  =======  ==========================================  =====================================
+==================  =======  ==========================================  =====================================
+preset              kind     grid                                        paper artefact
+==================  =======  ==========================================  =====================================
+fig9                grid     4 fabrics x {4,8,16,32} ports x 5 loads     Fig. 9 power vs throughput
+fig10               grid     4 fabrics x {4,8,16,32} ports x 6 loads,    Fig. 10 power vs ports at 50%
+                             read off at 50% egress throughput
+table1              table1   9 switch entries, gate-level               Table 1 node-switch bit energy
+table2              table2   banyan SRAM rows 4..128 ports              Table 2 buffer bit energy
+fat_tree_k4_sweep   network  20-switch k=4 fat-tree x 4 demand scales   network-level extension (ECMP)
+dumbbell_switchoff  network  3+3 dumbbell hotspot x 2 demand scales     network-level extension (switch-off)
+==================  =======  ==========================================  =====================================
 
 See ``docs/REPRODUCING.md`` for the full figure/table <-> preset <->
 CLI command matrix.
@@ -85,6 +87,32 @@ def _fig9_vs_analytical() -> Campaign:
     )
 
 
+def _fat_tree_k4_sweep() -> Campaign:
+    """The 20-switch k=4 fat-tree swept over demand scales (ECMP)."""
+    return Campaign(
+        name="fat_tree_k4_sweep",
+        kind="network",
+        title="Fat-tree k=4 — aggregate power vs uniform demand scale",
+        params={
+            "network": "fat_tree_k4",
+            "scales": [0.25, 0.5, 0.75, 1.0],
+        },
+    )
+
+
+def _dumbbell_switchoff() -> Campaign:
+    """Dumbbell hotspot with the port switch-off policy enabled."""
+    return Campaign(
+        name="dumbbell_switchoff",
+        kind="network",
+        title="Dumbbell hotspot — switch-off savings vs demand scale",
+        params={
+            "network": "dumbbell_switchoff",
+            "scales": [0.5, 1.0],
+        },
+    )
+
+
 #: Factories for the named campaign presets.
 PRESET_CAMPAIGNS = {
     "fig9": _fig9,
@@ -92,6 +120,8 @@ PRESET_CAMPAIGNS = {
     "table1": _table1,
     "table2": _table2,
     "fig9_vs_analytical": _fig9_vs_analytical,
+    "fat_tree_k4_sweep": _fat_tree_k4_sweep,
+    "dumbbell_switchoff": _dumbbell_switchoff,
 }
 
 

@@ -179,6 +179,47 @@ def _table2_sections(record: ComparisonRecord) -> list[str]:
     ] + comparisons
 
 
+def _network_sections(record: ComparisonRecord) -> list[str]:
+    from repro.campaigns.runner import NETWORK_TOTAL_NODE
+
+    sections = []
+    for scale in record.axis_values("scale"):
+        rows = []
+        total_row = None
+        for p in record.select(scale=scale):
+            cells = [
+                p["node"],
+                p["architecture"] or "-",
+                f"{p['powered_ports']}/{p['ports']}",
+                f"{p['mean_load']:.3f}",
+                f"{p['throughput']:.3f}" if p["throughput"] is not None
+                else "-",
+                f"{to_mW(p['fabric_power_w']):.4f}",
+                f"{to_mW(p['port_power_w']):.4f}",
+                f"{to_mW(p['power_w']):.4f}",
+            ]
+            rows.append(cells)
+            if p["node"] == NETWORK_TOTAL_NODE:
+                total_row = p
+        title = f"demand scale {scale:g} — per-router power"
+        sections.append(
+            format_table(
+                ["node", "arch", "ports", "load", "throughput",
+                 "fabric mW", "ports mW", "total mW"],
+                rows,
+                title=title,
+            )
+        )
+        if total_row is not None and total_row["switch_off_delta_w"]:
+            sections.append(
+                f"scale {scale:g}: switch-off saved "
+                f"{to_mW(total_row['switch_off_delta_w']):.4f} mW "
+                f"({total_row['powered_ports']}/{total_row['ports']} "
+                "ports powered)"
+            )
+    return sections
+
+
 def render_report(record: ComparisonRecord) -> str:
     """The full paper-style text report of one executed campaign."""
     campaign = record.campaign
@@ -189,6 +230,8 @@ def render_report(record: ComparisonRecord) -> str:
         sections = _table1_sections(record)
     elif campaign.kind == "table2":
         sections = _table2_sections(record)
+    elif campaign.kind == "network":
+        sections = _network_sections(record)
     else:
         sections = _grid_sections(record)
     return "\n\n".join([header] + sections)

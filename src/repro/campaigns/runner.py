@@ -15,6 +15,17 @@ through their dedicated models.
   (:func:`repro.gatesim.characterize.regenerate_table1`).
 * ``table2`` campaigns evaluate the banked-SRAM buffer model
   (:class:`repro.memmodel.SramMacro`).
+* ``network`` campaigns sweep a :class:`~repro.network.power.
+  NetworkSpec` over demand scales through
+  :class:`~repro.network.power.NetworkPowerModel` (every constituent
+  :class:`~repro.network.power.NetworkRecord` also lands in the
+  derived-figure store, keyed by its spec's topology+matrix hash).
+
+Passing ``figures=`` (a :class:`~repro.api.figstore.
+DerivedRecordStore`) caches the *aggregated* record keyed by
+``Campaign.content_hash()``: a warm figure store serves ``repro
+campaign report`` without constructing a session or touching a single
+scenario.
 
 :func:`campaign_plan` returns the per-point axis assignments *without*
 executing anything — the CLI's ``--dry-run`` (and the CI preset-rot
@@ -23,10 +34,12 @@ check) use it to validate a campaign cheaply.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any
 
 from repro.errors import ConfigurationError
 
+from repro.api.figstore import DerivedRecordStore
 from repro.api.model import PowerModel, default_session
 from repro.api.records import RunRecord
 from repro.api.store import RunRecordStore
@@ -51,6 +64,25 @@ TABLE1_METRICS = ("raw_j", "calibrated_j", "reference_j", "scale")
 TABLE2_AXES = ("ports",)
 TABLE2_METRICS = ("switches", "sram_kbit", "model_pj_per_bit", "paper_pj_per_bit")
 
+#: Axis / metric columns of a network campaign's points.  The
+#: ``"(total)"`` node row per scale carries the network-wide
+#: aggregates (fabric + port power, switch-off delta).
+NETWORK_AXES = ("scale", "node")
+NETWORK_METRICS = (
+    "architecture",
+    "ports",
+    "powered_ports",
+    "mean_load",
+    "throughput",
+    "fabric_power_w",
+    "port_power_w",
+    "power_w",
+    "switch_off_delta_w",
+)
+
+#: The synthetic per-scale aggregate row's node name.
+NETWORK_TOTAL_NODE = "(total)"
+
 _DEFAULT_TABLE2_PORTS = (4, 8, 16, 32, 64, 128)
 
 
@@ -74,10 +106,75 @@ def _grid_point(record: RunRecord) -> dict[str, Any]:
     return point
 
 
+def _network_node_point(
+    scale: float, row: dict[str, Any]
+) -> dict[str, Any]:
+    point: dict[str, Any] = {"scale": scale, "node": row["node"]}
+    for metric in NETWORK_METRICS:
+        point[metric] = row.get(metric)
+    return point
+
+
+def _network_total_point(scale: float, record) -> dict[str, Any]:
+    totals = record.totals
+    loads = [row["mean_load"] for row in record.nodes]
+    return {
+        "scale": scale,
+        "node": NETWORK_TOTAL_NODE,
+        "architecture": None,
+        "ports": totals["total_ports"],
+        "powered_ports": totals["powered_ports"],
+        "mean_load": sum(loads) / len(loads) if loads else 0.0,
+        "throughput": None,
+        "fabric_power_w": totals["fabric_power_w"],
+        "port_power_w": totals["port_power_w"],
+        "power_w": totals["power_w"],
+        "switch_off_delta_w": totals["switch_off_delta_w"],
+    }
+
+
 def campaign_plan(campaign: Campaign) -> list[dict[str, Any]]:
-    """Per-point axis assignments, without executing anything."""
+    """Per-point axis assignments, without executing anything.
+
+    For network campaigns the plan routes the matrix (cheap — no
+    simulation) so an infeasible preset fails the dry-run, and reports
+    each derived router's mean ingress load.
+    """
     if campaign.kind == "grid":
         return [_grid_axis_values(s) for s in campaign.scenarios()]
+    if campaign.kind == "network":
+        from repro.network.routing import route
+
+        spec = campaign.network_spec()
+        plan = []
+        for scale in campaign.network_scales():
+            scaled = spec if scale == 1.0 else spec.scaled(scale)
+            routing = route(scaled.topology, scaled.matrix, scaled.routing)
+            means = []
+            for node in scaled.topology.nodes:
+                loads = routing.ingress_loads[node.name]
+                means.append(sum(loads) / len(loads))
+                plan.append(
+                    {
+                        "scale": scale,
+                        "node": node.name,
+                        "architecture": node.architecture,
+                        "ports": node.ports,
+                        "load": means[-1],
+                    }
+                )
+            # The synthetic aggregate row the executed record will
+            # carry, so the plan's point count matches Campaign.size().
+            plan.append(
+                {
+                    "scale": scale,
+                    "node": NETWORK_TOTAL_NODE,
+                    "architecture": None,
+                    "ports": sum(n.ports for n in scaled.topology.nodes),
+                    "load": sum(means) / len(means),
+                }
+            )
+        return plan
     if campaign.kind == "table2":
         ports = campaign.params_dict.get("ports", _DEFAULT_TABLE2_PORTS)
         return [{"ports": int(p)} for p in ports]
@@ -85,6 +182,42 @@ def campaign_plan(campaign: Campaign) -> list[dict[str, Any]]:
     from repro.gatesim.characterize import TABLE1_ENTRIES
 
     return [{"entry": entry} for entry in sorted(TABLE1_ENTRIES)]
+
+
+def _run_network(
+    campaign: Campaign,
+    session: PowerModel | None,
+    workers: int | None,
+    executor: str,
+    store: RunRecordStore | None,
+    figures: DerivedRecordStore | None,
+) -> ComparisonRecord:
+    from repro.network.power import NetworkPowerModel
+
+    spec = campaign.network_spec()
+    model = NetworkPowerModel(session)
+    points = []
+    records = []
+    for scale in campaign.network_scales():
+        scaled = spec if scale == 1.0 else spec.scaled(scale)
+        record = model.run(
+            scaled,
+            workers=workers,
+            executor=executor,
+            store=store,
+            figures=figures,
+        )
+        records.append(record)
+        for row in record.nodes:
+            points.append(_network_node_point(scale, row))
+        points.append(_network_total_point(scale, record))
+    return ComparisonRecord(
+        campaign=campaign,
+        axes=NETWORK_AXES,
+        metrics=NETWORK_METRICS,
+        points=points,
+        detail=records,
+    )
 
 
 def _run_grid(
@@ -181,6 +314,7 @@ def run_campaign(
     workers: int | None = None,
     executor: str = "thread",
     store: RunRecordStore | None = None,
+    figures: DerivedRecordStore | None = None,
 ) -> ComparisonRecord:
     """Execute a campaign (or preset name) into a comparison record.
 
@@ -188,28 +322,69 @@ def run_campaign(
     ----------
     campaign:
         A :class:`Campaign` or a built-in preset name (``"fig9"``,
-        ``"fig10"``, ``"table1"``, ``"table2"``, ...).
+        ``"fig10"``, ``"table1"``, ``"table2"``,
+        ``"fat_tree_k4_sweep"``, ...).
     session:
         The :class:`~repro.api.PowerModel` to run grid points through
         (default: the shared session — its cached energy models are
         reused across campaign runs).
     workers / executor:
         Forwarded to :meth:`~repro.api.PowerModel.run_batch` for grid
-        campaigns (thread or process fan-out); ignored by table kinds.
+        and network campaigns (thread or process fan-out); ignored by
+        table kinds.
     store:
         Optional JSONL :class:`~repro.api.store.RunRecordStore`:
         already-measured grid points are served from disk, fresh ones
         appended — a warm cache re-runs a campaign with zero new
         simulations.
+    figures:
+        Optional :class:`~repro.api.figstore.DerivedRecordStore` of
+        whole aggregated records keyed by ``Campaign.content_hash()``.
+        On a hit the campaign is served without a session (or any
+        scenario execution); on a miss the fresh record is persisted.
+        Network campaigns additionally cache every per-scale
+        :class:`~repro.network.power.NetworkRecord` keyed by its spec's
+        topology+matrix content hash.
     """
     if isinstance(campaign, str):
         from repro.campaigns.presets import get_campaign
 
         campaign = get_campaign(campaign)
+    if figures is not None:
+        figure_key = _figure_key(campaign)
+        cached = figures.get(figure_key, "comparison")
+        if cached is not None:
+            return ComparisonRecord.from_dict(cached)
     if campaign.kind == "table1":
-        return _run_table1(campaign)
-    if campaign.kind == "table2":
-        return _run_table2(campaign)
-    if session is None:
-        session = default_session()
-    return _run_grid(campaign, session, workers, executor, store)
+        record = _run_table1(campaign)
+    elif campaign.kind == "table2":
+        record = _run_table2(campaign)
+    elif campaign.kind == "network":
+        record = _run_network(
+            campaign, session, workers, executor, store, figures
+        )
+    else:
+        if session is None:
+            session = default_session()
+        record = _run_grid(campaign, session, workers, executor, store)
+    if figures is not None:
+        figures.put(figure_key, "comparison", record.to_dict())
+    return record
+
+
+def _figure_key(campaign: Campaign) -> str:
+    """The derived-figure store key of a campaign's aggregated record.
+
+    For most kinds this is ``Campaign.content_hash()``.  A network
+    campaign that references a preset *by name* resolves the spec at
+    run time, so the resolved :class:`~repro.network.power.NetworkSpec`
+    content is mixed in — editing a network preset must miss the
+    figure cache, not serve the pre-edit record under an unchanged
+    campaign hash.
+    """
+    if campaign.kind == "network":
+        combined = (
+            campaign.content_hash() + campaign.network_spec().content_hash()
+        )
+        return hashlib.sha256(combined.encode()).hexdigest()
+    return campaign.content_hash()

@@ -7,16 +7,18 @@ Commands
 ``sweep``      Fig. 9-style throughput sweep for one architecture.
 ``batch``      run a JSON file of scenarios (mixed backends) in parallel.
 ``campaign``   run/list/report declarative paper-reproduction campaigns.
+``network``    run/list/report network-level aggregate power specs.
 ``table1``     regenerate Table 1 via gate-level characterisation.
 ``table2``     regenerate Table 2 via the SRAM model.
 
 ``estimate``/``simulate``/``sweep`` are thin wrappers over the
-:mod:`repro.api` session layer; ``batch`` is its native front end and
+:mod:`repro.api` session layer; ``batch`` is its native front end,
 ``campaign`` fronts :mod:`repro.campaigns` (whole figures/tables as one
-cached, parallel batch — see ``docs/REPRODUCING.md``).  All commands
-share one :class:`~repro.wire_modes.WireMode` vocabulary for
-``--wire-mode`` (``worst_case``/``expected``/``per_link``), translated
-per backend.
+cached, parallel batch — see ``docs/REPRODUCING.md``) and ``network``
+fronts :mod:`repro.network` (topology + traffic matrix + routing →
+aggregate router power).  All commands share one
+:class:`~repro.wire_modes.WireMode` vocabulary for ``--wire-mode``
+(``worst_case``/``expected``/``per_link``), translated per backend.
 
 Examples
 --------
@@ -28,6 +30,8 @@ Examples
     python -m repro batch examples/scenarios.json --workers 4
     python -m repro campaign run fig9 --cache records.jsonl --csv fig9.csv
     python -m repro campaign report table2
+    python -m repro network run fat_tree_k4 --workers 4
+    python -m repro network report dumbbell_switchoff
     python -m repro table2
 """
 
@@ -207,6 +211,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="JSONL result cache; a warm cache re-runs the campaign "
             "with zero new simulations",
         )
+        p.add_argument(
+            "--figures",
+            default=None,
+            metavar="PATH",
+            help="JSONL derived-figure cache keyed by campaign content "
+            "hash; a warm figure cache serves the whole record without "
+            "running (or even constructing) a session",
+        )
 
     run_p = campaign_sub.add_parser(
         "run", help="execute a campaign into a ComparisonRecord"
@@ -253,6 +265,103 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute (cache-aware) and print the paper-style report",
     )
     _add_campaign_exec(report_p)
+
+    network = sub.add_parser(
+        "network",
+        help="network-level aggregate power (topology + traffic matrix)",
+    )
+    network_sub = network.add_subparsers(dest="network_command",
+                                         required=True)
+
+    def _add_network_exec(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "name",
+            help="built-in network preset (repro network list) or a "
+            "NetworkSpec JSON file",
+        )
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=1.0,
+            help="multiply every demand of the traffic matrix",
+        )
+        p.add_argument(
+            "--workers", type=int, default=1, help="worker-pool width"
+        )
+        p.add_argument(
+            "--executor",
+            choices=("thread", "process"),
+            default="thread",
+            help="worker pool kind for the per-router scenario batch",
+        )
+        p.add_argument(
+            "--cache",
+            default=None,
+            metavar="PATH",
+            help="JSONL per-scenario result cache; a warm cache re-runs "
+            "the network with zero new simulations",
+        )
+        p.add_argument(
+            "--figures",
+            default=None,
+            metavar="PATH",
+            help="JSONL derived-figure cache keyed by the spec's "
+            "topology+matrix content hash; a warm figure cache serves "
+            "the whole NetworkRecord without a session",
+        )
+
+    net_run = network_sub.add_parser(
+        "run", help="execute a network spec into a NetworkRecord"
+    )
+    _add_network_exec(net_run)
+    net_run.add_argument(
+        "--format",
+        choices=("table", "csv", "json", "markdown"),
+        default="table",
+        help="report format written to stdout (or --output)",
+    )
+    net_run.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    net_run.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        dest="csv_path",
+        help="additionally export the per-node record as CSV",
+    )
+    net_run.add_argument(
+        "--links-csv",
+        default=None,
+        metavar="PATH",
+        dest="links_csv_path",
+        help="additionally export the per-link record as CSV",
+    )
+    net_run.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="additionally export the record as JSON",
+    )
+    net_run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="route the matrix and print the derived per-router plan "
+        "without simulating anything",
+    )
+
+    network_sub.add_parser(
+        "list", help="list the built-in network presets"
+    )
+
+    net_report = network_sub.add_parser(
+        "report",
+        help="execute (cache-aware) and print the network power report",
+    )
+    _add_network_exec(net_report)
 
     t1 = sub.add_parser("table1", help="regenerate Table 1 (gate level)")
     t1.add_argument("--cycles", type=int, default=192)
@@ -415,10 +524,11 @@ def _resolve_campaign(name: str):
 
 
 def _campaign_store(args, campaign):
-    """A RunRecordStore for grid campaigns; table kinds do not run
-    scenarios, so grid-only flags are called out instead of silently
-    ignored (and no misleading cache stats get printed)."""
-    if campaign.kind != "grid":
+    """A RunRecordStore for scenario-running campaigns (grid/network);
+    table kinds do not run scenarios, so batch-only flags are called
+    out instead of silently ignored (and no misleading cache stats get
+    printed)."""
+    if campaign.kind not in ("grid", "network"):
         ignored = [
             flag
             for flag, given in (
@@ -447,6 +557,24 @@ def _campaign_cache_stats(args, store) -> None:
         stats = store.stats()
         print(
             f"cache {args.cache}: {stats['hits']} hits, "
+            f"{stats['misses']} misses, {stats['entries']} entries",
+            file=sys.stderr,
+        )
+
+
+def _figure_store(args):
+    if not getattr(args, "figures", None):
+        return None
+    from repro.api.figstore import DerivedRecordStore
+
+    return DerivedRecordStore(args.figures)
+
+
+def _figure_store_stats(args, figures) -> None:
+    if figures is not None:
+        stats = figures.stats()
+        print(
+            f"figures {args.figures}: {stats['hits']} hits, "
             f"{stats['misses']} misses, {stats['entries']} entries",
             file=sys.stderr,
         )
@@ -481,13 +609,16 @@ def cmd_campaign(args) -> int:
 
     if args.campaign_command == "report":
         store = _campaign_store(args, campaign)
+        figures = _figure_store(args)
         record = run_campaign(
             campaign,
             workers=args.workers,
             executor=args.executor,
             store=store,
+            figures=figures,
         )
         _campaign_cache_stats(args, store)
+        _figure_store_stats(args, figures)
         print(render_report(record))
         return 0
 
@@ -502,13 +633,16 @@ def cmd_campaign(args) -> int:
             print("  " + ", ".join(f"{k}={v}" for k, v in point.items()))
         return 0
     store = _campaign_store(args, campaign)
+    figures = _figure_store(args)
     record = run_campaign(
         campaign,
         workers=args.workers,
         executor=args.executor,
         store=store,
+        figures=figures,
     )
     _campaign_cache_stats(args, store)
+    _figure_store_stats(args, figures)
     if args.csv_path:
         Path(args.csv_path).write_text(record.to_csv())
         print(f"{len(record.points)} points -> {args.csv_path}",
@@ -551,6 +685,134 @@ def _cell(value) -> str:
     if isinstance(value, float):
         return f"{value:.6g}"
     return str(value)
+
+
+def _resolve_network(name: str):
+    """A preset name or a NetworkSpec JSON file -> :class:`NetworkSpec`."""
+    from pathlib import Path
+
+    from repro.network import NETWORK_PRESETS, NetworkSpec, get_network
+
+    if name in NETWORK_PRESETS:
+        return get_network(name)
+    path = Path(name)
+    if path.exists():
+        return NetworkSpec.from_json(path.read_text())
+    if name.endswith(".json"):
+        raise ConfigurationError(f"cannot read network spec file {name!r}")
+    return get_network(name)  # raises with the known-presets list
+
+
+def cmd_network(args) -> int:
+    from pathlib import Path
+
+    from repro.network import (
+        NetworkPowerModel,
+        get_network,
+        network_names,
+        render_network_report,
+    )
+
+    if args.network_command == "list":
+        rows = []
+        for name in network_names():
+            spec = get_network(name)
+            rows.append(
+                [
+                    name,
+                    len(spec.topology.nodes),
+                    len(spec.topology.links),
+                    spec.routing,
+                    "on" if spec.switch_off else "off",
+                    f"{spec.matrix.total():.3f}",
+                ]
+            )
+        print(
+            format_table(
+                ["name", "nodes", "links", "routing", "switch-off",
+                 "demand"],
+                rows,
+                title="built-in network presets",
+            )
+        )
+        return 0
+
+    spec = _resolve_network(args.name)
+    if args.scale != 1.0:
+        spec = spec.scaled(args.scale)
+    model = NetworkPowerModel()
+
+    if args.network_command == "run" and args.dry_run:
+        routing = model.route(spec)
+        pairs = model.scenarios(spec, routing)
+        print(
+            f"network {spec.name}: {len(pairs)} routers, "
+            f"{len(spec.topology.links)} links, routing={spec.routing}"
+        )
+        for name, scenario in pairs:
+            print(
+                f"  {name}: {scenario.architecture} "
+                f"{scenario.ports}x{scenario.ports} "
+                f"load={_cell(scenario.mean_load)} "
+                f"backend={scenario.backend}"
+            )
+        for row in routing.link_rows():
+            print(
+                f"  link {row['src']}->{row['dst']}: "
+                f"load={row['load']:.3f} "
+                f"utilization={row['utilization']:.1%}"
+            )
+        return 0
+
+    store = None
+    if args.cache:
+        from repro.api.store import RunRecordStore
+
+        store = RunRecordStore(args.cache)
+    figures = _figure_store(args)
+    record = model.run(
+        spec,
+        workers=args.workers,
+        executor=args.executor,
+        store=store,
+        figures=figures,
+    )
+    _campaign_cache_stats(args, store)
+    _figure_store_stats(args, figures)
+
+    if args.network_command == "report":
+        print(render_network_report(record))
+        return 0
+
+    if args.csv_path:
+        Path(args.csv_path).write_text(record.to_csv())
+        print(f"{len(record.nodes)} nodes -> {args.csv_path}",
+              file=sys.stderr)
+    if args.links_csv_path:
+        Path(args.links_csv_path).write_text(record.links_to_csv())
+        print(f"{len(record.links)} links -> {args.links_csv_path}",
+              file=sys.stderr)
+    if args.json_path:
+        Path(args.json_path).write_text(record.to_json() + "\n")
+        print(f"network record -> {args.json_path}", file=sys.stderr)
+    if args.format == "csv":
+        report = record.to_csv()
+    elif args.format == "json":
+        report = record.to_json()
+    elif args.format == "markdown":
+        report = record.to_markdown()
+    else:
+        report = render_network_report(record)
+    if args.output:
+        Path(args.output).write_text(
+            report if report.endswith("\n") else report + "\n"
+        )
+        print(f"network {spec.name} -> {args.output}")
+    else:
+        # CSV already ends with a newline; don't add a second one, so
+        # stdout and --csv/--output files stay byte-identical.
+        print(report, end="" if report.endswith("\n") else "\n")
+    return 0
 
 
 def cmd_table1(args) -> int:
@@ -602,6 +864,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "batch": cmd_batch,
     "campaign": cmd_campaign,
+    "network": cmd_network,
     "table1": cmd_table1,
     "table2": cmd_table2,
 }

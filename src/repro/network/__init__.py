@@ -1,0 +1,94 @@
+"""repro.network — network-level data-plane power.
+
+The paper models one router's switch fabric; this package aggregates
+that model over a *network*: a frozen :class:`NetworkTopology` (routers
+with ports/architecture/tech, directed links with capacity) under a
+frozen :class:`TrafficMatrix` (per src→dst demand in cells/slot) is
+routed (:func:`route` — deterministic shortest path or ECMP) into
+per-router **per-port load vectors**, each router becomes one
+:class:`~repro.api.Scenario`, the scenarios execute through a shared
+:meth:`repro.api.PowerModel.run_batch` (parallel executors, JSONL
+scenario cache), and the results aggregate into one
+:class:`NetworkRecord` — per-node, per-link, and total power with
+deterministic CSV/JSON/markdown export:
+
+>>> from repro.network import get_network, run_network
+>>> record = run_network("dumbbell_switchoff")  # doctest: +SKIP
+>>> record.totals["switch_off_delta_w"]         # doctest: +SKIP
+
+* :class:`NetworkTopology` / :class:`RouterNode` / :class:`Link` —
+  frozen topology specs plus the generators ``single``, ``line``,
+  ``star``, ``mesh``, ``dumbbell``, ``fat_tree``.
+* :class:`TrafficMatrix` / :class:`Demand` — demand matrices with
+  ``uniform`` / ``gravity`` / ``hotspot`` presets.
+* :func:`route` / :class:`RoutingResult` — demand → link loads →
+  per-port load vectors, with utilization validation.
+* :class:`NetworkSpec` / :class:`NetworkPowerModel` /
+  :class:`NetworkRecord` / :func:`run_network` — execution and
+  aggregation, including the Giroire-style port switch-off policy.
+* :func:`get_network` / :data:`NETWORK_PRESETS` — the built-in specs.
+
+CLI front end: ``repro network run|list|report``; campaign integration:
+``Campaign(kind="network")`` in :mod:`repro.campaigns`.
+"""
+
+from repro.network.topology import (
+    GENERATORS,
+    Link,
+    NetworkTopology,
+    PortMap,
+    RouterNode,
+    dumbbell,
+    edge_nodes,
+    fat_tree,
+    line,
+    mesh,
+    single,
+    star,
+)
+from repro.network.traffic_matrix import Demand, TrafficMatrix
+from repro.network.routing import ROUTING_MODES, RoutingResult, route
+from repro.network.power import (
+    LINK_COLUMNS,
+    NODE_COLUMNS,
+    NetworkPowerModel,
+    NetworkRecord,
+    NetworkSpec,
+    render_network_report,
+    run_network,
+)
+from repro.network.presets import (
+    NETWORK_PRESETS,
+    get_network,
+    network_names,
+)
+
+__all__ = [
+    "NetworkTopology",
+    "RouterNode",
+    "Link",
+    "PortMap",
+    "GENERATORS",
+    "single",
+    "line",
+    "star",
+    "mesh",
+    "dumbbell",
+    "fat_tree",
+    "edge_nodes",
+    "Demand",
+    "TrafficMatrix",
+    "ROUTING_MODES",
+    "RoutingResult",
+    "route",
+    "NetworkSpec",
+    "NetworkPowerModel",
+    "NetworkRecord",
+    "NODE_COLUMNS",
+    "LINK_COLUMNS",
+    "render_network_report",
+    "run_network",
+    "NETWORK_PRESETS",
+    "get_network",
+    "network_names",
+]

@@ -1,0 +1,358 @@
+"""Routing: map a traffic matrix onto links and per-router port loads.
+
+This is the bridge between the network level and the per-router
+machinery: :func:`route` turns (:class:`~repro.network.topology.
+NetworkTopology`, :class:`~repro.network.traffic_matrix.TrafficMatrix`)
+into per-link loads and — via the topology's deterministic port map —
+per-router **per-port ingress load vectors**, the exact shape
+:class:`repro.api.Scenario` accepts as its ``load``.
+
+Two route-computation modes:
+
+* ``"shortest"`` — one deterministic shortest path per demand
+  (breadth-first search over the directed link graph, neighbors in
+  link declaration order).
+* ``"ecmp"`` — the demand is split equally over *all* shortest paths.
+  The split is computed on the shortest-path DAG with path counting
+  (flow on edge (a, b) = demand x paths-through-edge / total-paths),
+  so no path enumeration is needed and the result is deterministic.
+
+Semantics of the produced loads (all in cells/slot):
+
+* every link hop of a routed demand loads the link and the downstream
+  router's ingress port for that cable;
+* traffic *originating* at a node enters its fabric spread uniformly
+  over the node's access ports; *terminating* traffic leaves through
+  them (loading egress, not ingress);
+* link utilization (load / capacity) and access-port loads are
+  validated against 1.0, so an infeasible matrix fails loudly instead
+  of silently clipping.
+
+The optional switch-off policy of Giroire et al. is a *power* decision
+(see :mod:`repro.network.power`); routing only reports which ports
+carry no traffic (:attr:`RoutingResult.active_ports`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+from repro.network.topology import NetworkTopology
+from repro.network.traffic_matrix import TrafficMatrix
+
+#: Valid route-computation modes.
+ROUTING_MODES = ("shortest", "ecmp")
+
+#: Tolerance on utilization / load validation (pure float-sum slack).
+_TOL = 1e-9
+
+
+@dataclass
+class RoutingResult:
+    """Routed demands: link loads, port loads, and activity flags.
+
+    Attributes
+    ----------
+    topology / matrix / mode:
+        The inputs that produced the result.
+    link_loads:
+        ``{(src, dst): cells_per_slot}`` per directed link (only links
+        that exist in the topology appear; unused links carry 0.0).
+    demand_hops:
+        ``{(src, dst): hop count}`` of each routed demand (0 for local
+        ``src == dst`` demands); under ECMP every shortest path has the
+        same hop count.
+    ingress_loads / egress_loads:
+        ``{node: (load, ...)}`` — one entry per physical port, in the
+        topology's deterministic port order.  Ingress loads are what
+        the derived per-router scenarios consume.
+    active_ports:
+        ``{node: (bool, ...)}`` — True where the port carries any
+        ingress or egress traffic; the switch-off policy powers down
+        the False ones.
+    """
+
+    topology: NetworkTopology
+    matrix: TrafficMatrix
+    mode: str
+    link_loads: dict[tuple[str, str], float] = field(default_factory=dict)
+    demand_hops: dict[tuple[str, str], int] = field(default_factory=dict)
+    ingress_loads: dict[str, tuple[float, ...]] = field(default_factory=dict)
+    egress_loads: dict[str, tuple[float, ...]] = field(default_factory=dict)
+    active_ports: dict[str, tuple[bool, ...]] = field(default_factory=dict)
+
+    @property
+    def total_link_load(self) -> float:
+        """Sum of all link loads — equals sum(demand x hops) by flow
+        conservation (the invariant ``tests/test_network.py`` pins)."""
+        return sum(self.link_loads.values())
+
+    def utilization(self, src: str, dst: str) -> float:
+        return self.link_loads[(src, dst)] / self.topology.link(
+            src, dst
+        ).capacity
+
+    def link_rows(self) -> list[dict[str, Any]]:
+        """One dict per directed link, in declaration order."""
+        rows = []
+        for link in self.topology.links:
+            load = self.link_loads[(link.src, link.dst)]
+            rows.append(
+                {
+                    "src": link.src,
+                    "dst": link.dst,
+                    "capacity": link.capacity,
+                    "load": load,
+                    "utilization": load / link.capacity,
+                    "active": load > 0.0,
+                }
+            )
+        return rows
+
+    def idle_port_count(self) -> int:
+        return sum(
+            sum(1 for active in flags if not active)
+            for flags in self.active_ports.values()
+        )
+
+
+def _bfs_distances(
+    adj: dict[str, tuple[str, ...]], source: str
+) -> dict[str, int]:
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for peer in adj[node]:
+            if peer not in dist:
+                dist[peer] = dist[node] + 1
+                queue.append(peer)
+    return dist
+
+
+class _DistCache:
+    """Memoised all-pairs BFS distances over one adjacency."""
+
+    def __init__(self, adj: dict[str, tuple[str, ...]]) -> None:
+        self.adj = adj
+        self._from: dict[str, dict[str, int]] = {}
+
+    def distances_from(self, source: str) -> dict[str, int]:
+        if source not in self._from:
+            self._from[source] = _bfs_distances(self.adj, source)
+        return self._from[source]
+
+    def dist(self, source: str, target: str) -> int | None:
+        return self.distances_from(source).get(target)
+
+
+def _one_shortest_path(
+    cache: _DistCache, source: str, target: str
+) -> list[str]:
+    """Deterministic single shortest path via declaration-order greed."""
+    total = cache.dist(source, target)
+    if total is None:
+        raise ConfigurationError(
+            f"demand {source!r} -> {target!r} is unroutable: no path"
+        )
+    path = [source]
+    node = source
+    while node != target:
+        steps_left = total - (len(path) - 1)
+        for peer in cache.adj[node]:
+            d = cache.dist(peer, target)
+            if d is not None and d == steps_left - 1:
+                path.append(peer)
+                node = peer
+                break
+        else:  # pragma: no cover - BFS distances are always consistent
+            raise ConfigurationError(
+                f"no shortest path step from {node!r} toward {target!r}"
+            )
+    return path
+
+
+def _ecmp_edge_flows(
+    cache: _DistCache, source: str, target: str, demand: float
+) -> dict[tuple[str, str], float]:
+    """Per-edge flow of one demand split equally over all shortest paths.
+
+    Over the shortest-path DAG rooted at ``source``: ``sigma(a)`` counts
+    shortest source→a paths, ``tau(b)`` counts shortest b→target paths
+    within the DAG; the fraction of paths crossing edge (a, b) is
+    ``sigma(a) * tau(b) / sigma(target)``.
+    """
+    dist = cache.distances_from(source)
+    if target not in dist:
+        raise ConfigurationError(
+            f"demand {source!r} -> {target!r} is unroutable: no path"
+        )
+    horizon = dist[target]
+    # Nodes that can lie on a shortest source->target path.
+    relevant = {
+        node: d
+        for node, d in dist.items()
+        if d <= horizon
+    }
+    by_depth: dict[int, list[str]] = {}
+    for node, d in relevant.items():
+        by_depth.setdefault(d, []).append(node)
+    for nodes in by_depth.values():
+        nodes.sort()
+    dag_edges: list[tuple[str, str]] = []
+    for depth in range(horizon):
+        for a in by_depth.get(depth, ()):
+            for b in cache.adj[a]:
+                if relevant.get(b) == depth + 1:
+                    dag_edges.append((a, b))
+    sigma: dict[str, int] = {source: 1}
+    for depth in range(horizon):
+        for a in by_depth.get(depth, ()):
+            for b in cache.adj[a]:
+                if relevant.get(b) == depth + 1:
+                    sigma[b] = sigma.get(b, 0) + sigma.get(a, 0)
+    tau: dict[str, int] = {target: 1}
+    for depth in range(horizon - 1, -1, -1):
+        for a in by_depth.get(depth, ()):
+            count = 0
+            for b in cache.adj[a]:
+                if relevant.get(b) == depth + 1:
+                    count += tau.get(b, 0)
+            if a != target:
+                tau[a] = count
+    total_paths = sigma.get(target, 0)
+    if total_paths == 0:  # pragma: no cover - guarded by dist lookup
+        raise ConfigurationError(
+            f"demand {source!r} -> {target!r} is unroutable: no path"
+        )
+    flows: dict[tuple[str, str], float] = {}
+    for a, b in dag_edges:
+        paths_through = sigma.get(a, 0) * tau.get(b, 0)
+        if paths_through:
+            flows[(a, b)] = demand * paths_through / total_paths
+    return flows
+
+
+def route(
+    topology: NetworkTopology,
+    matrix: TrafficMatrix,
+    mode: str = "shortest",
+) -> RoutingResult:
+    """Route every demand; derive link loads and per-port load vectors.
+
+    Raises :class:`~repro.errors.ConfigurationError` on unroutable
+    demands, on any link whose routed load exceeds its capacity, and on
+    any access port whose injected load exceeds line rate — an
+    infeasible operating point must fail loudly, not silently saturate.
+    """
+    if mode not in ROUTING_MODES:
+        raise ConfigurationError(
+            f"routing mode must be one of {ROUTING_MODES}, got {mode!r}"
+        )
+    known = set(topology.node_names)
+    unknown = [n for n in matrix.nodes() if n not in known]
+    if unknown:
+        raise ConfigurationError(
+            f"traffic matrix names unknown nodes: {unknown}"
+        )
+    adj = topology.out_neighbors()
+    cache = _DistCache(adj)
+    link_loads = {(l.src, l.dst): 0.0 for l in topology.links}
+    demand_hops: dict[tuple[str, str], int] = {}
+    for d in matrix.demands:
+        if d.src == d.dst:
+            demand_hops[(d.src, d.dst)] = 0
+            continue
+        if d.cells_per_slot == 0.0:
+            dist = cache.dist(d.src, d.dst)
+            if dist is None:
+                raise ConfigurationError(
+                    f"demand {d.src!r} -> {d.dst!r} is unroutable: no path"
+                )
+            demand_hops[(d.src, d.dst)] = dist
+            continue
+        if mode == "shortest":
+            path = _one_shortest_path(cache, d.src, d.dst)
+            demand_hops[(d.src, d.dst)] = len(path) - 1
+            for a, b in zip(path, path[1:]):
+                link_loads[(a, b)] += d.cells_per_slot
+        else:
+            flows = _ecmp_edge_flows(cache, d.src, d.dst, d.cells_per_slot)
+            demand_hops[(d.src, d.dst)] = cache.dist(d.src, d.dst)
+            for edge, flow in flows.items():
+                link_loads[edge] += flow
+    # Utilization validation: every link within capacity.
+    overloaded = [
+        f"{src}->{dst} ({load:.4f} > {topology.link(src, dst).capacity:.4f})"
+        for (src, dst), load in sorted(link_loads.items())
+        if load > topology.link(src, dst).capacity + _TOL
+    ]
+    if overloaded:
+        raise ConfigurationError(
+            f"routed load exceeds link capacity: {', '.join(overloaded)} "
+            "(scale the matrix down or raise capacities)"
+        )
+    # Per-port load vectors.
+    port_map = topology.port_map()
+    ingress: dict[str, list[float]] = {}
+    egress: dict[str, list[float]] = {}
+    for node in topology.nodes:
+        ingress[node.name] = [0.0] * node.ports
+        egress[node.name] = [0.0] * node.ports
+    for link in topology.links:
+        load = link_loads[(link.src, link.dst)]
+        ingress[link.dst][port_map[link.dst].peers[link.src]] += load
+        egress[link.src][port_map[link.src].peers[link.dst]] += load
+    for node in topology.nodes:
+        originated = matrix.originated(node.name)
+        terminated = matrix.terminated(node.name)
+        access = port_map[node.name].access_ports
+        if (originated > 0.0 or terminated > 0.0) and not access:
+            raise ConfigurationError(
+                f"node {node.name!r} originates/terminates traffic but has "
+                "no access ports (all ports are cabled)"
+            )
+        if access:
+            per_port_in = originated / len(access)
+            per_port_out = terminated / len(access)
+            if per_port_in > 1.0 + _TOL:
+                raise ConfigurationError(
+                    f"node {node.name!r}: originated demand {originated:.4f} "
+                    f"over {len(access)} access ports exceeds line rate "
+                    f"({per_port_in:.4f} cells/slot per port)"
+                )
+            if per_port_out > 1.0 + _TOL:
+                raise ConfigurationError(
+                    f"node {node.name!r}: terminated demand {terminated:.4f} "
+                    f"over {len(access)} access ports exceeds line rate "
+                    f"({per_port_out:.4f} cells/slot per port)"
+                )
+            for port in access:
+                ingress[node.name][port] += per_port_in
+                egress[node.name][port] += per_port_out
+    active = {
+        name: tuple(
+            i > 0.0 or e > 0.0
+            for i, e in zip(ingress[name], egress[name])
+        )
+        for name in topology.node_names
+    }
+    return RoutingResult(
+        topology=topology,
+        matrix=matrix,
+        mode=mode,
+        link_loads=link_loads,
+        demand_hops=demand_hops,
+        ingress_loads={
+            name: tuple(min(1.0, v) for v in loads)
+            for name, loads in ingress.items()
+        },
+        egress_loads={
+            name: tuple(loads) for name, loads in egress.items()
+        },
+        active_ports=active,
+    )

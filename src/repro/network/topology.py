@@ -1,0 +1,484 @@
+"""Network topologies: routers as nodes, directed links with capacity.
+
+The paper models one router's switch fabric; this module describes a
+*network* of such routers so the per-router machinery can be aggregated
+(Chen et al. style data-plane power, Giroire et al. style link/port
+switch-off).  A :class:`NetworkTopology` is frozen and JSON
+round-trippable like :class:`repro.api.Scenario` — topologies are specs,
+not live objects.
+
+Model
+-----
+* A :class:`RouterNode` is one router: a name, a physical port count,
+  and the fabric configuration (``architecture``/``tech``) the
+  per-router :class:`~repro.api.Scenario` will use.
+* A :class:`Link` is a *directed* traffic-carrying edge between two
+  routers with a capacity in cells/slot (1.0 = one port's line rate, so
+  capacity never exceeds 1.0).  Two opposite directed links between the
+  same pair share one physical cable and therefore one bidirectional
+  port on each endpoint — :meth:`NetworkTopology.port_map` performs
+  that pairing deterministically (declaration order).
+* Ports not consumed by cables are **access ports**: locally
+  originated/terminated traffic (the traffic matrix's row/column for
+  the node) enters and leaves the fabric through them.
+
+Generators for the classic evaluation shapes are provided:
+:func:`single`, :func:`line`, :func:`star`, :func:`mesh`,
+:func:`dumbbell` and :func:`fat_tree`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.fabrics.registry import canonical_architecture
+from repro.tech.presets import get_technology
+
+
+@dataclass(frozen=True)
+class RouterNode:
+    """One router of the network (a future per-router scenario).
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the topology.
+    ports:
+        Physical (bidirectional) port count; cables plus access ports
+        must fit.  Scenarios need at least 2.
+    architecture / tech:
+        The fabric configuration of the per-router scenario
+        (registry-resolved architecture name, technology preset name).
+    """
+
+    name: str
+    ports: int
+    architecture: str = "crossbar"
+    tech: str = "0.18um"
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError("a router node needs a non-empty name")
+        if self.ports < 2:
+            raise ConfigurationError(
+                f"node {self.name!r}: a router needs at least 2 ports"
+            )
+        object.__setattr__(
+            self, "architecture", canonical_architecture(self.architecture)
+        )
+        get_technology(self.tech)  # fail fast on unknown preset names
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "ports": self.ports,
+            "architecture": self.architecture,
+            "tech": self.tech,
+        }
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed link: traffic flows ``src`` → ``dst``.
+
+    ``capacity`` is in cells/slot; 1.0 is one port's line rate, which a
+    single cable cannot exceed.
+    """
+
+    src: str
+    dst: str
+    capacity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ConfigurationError(
+                f"link {self.src!r} -> {self.dst!r}: self-links are not "
+                "allowed (local traffic uses access ports)"
+            )
+        if not 0.0 < self.capacity <= 1.0:
+            raise ConfigurationError(
+                f"link {self.src!r} -> {self.dst!r}: capacity must be in "
+                f"(0, 1] cells/slot (one port's line rate), got "
+                f"{self.capacity!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"src": self.src, "dst": self.dst, "capacity": self.capacity}
+
+
+@dataclass(frozen=True)
+class PortMap:
+    """Deterministic port assignment of one node.
+
+    Attributes
+    ----------
+    peer_port:
+        ``{peer node name: port index}`` — the bidirectional port this
+        node's cable to ``peer`` occupies (both directions of a cable
+        share it).
+    access_ports:
+        Indices of the ports left for locally originated/terminated
+        traffic.
+    """
+
+    peer_port: tuple[tuple[str, int], ...]
+    access_ports: tuple[int, ...]
+
+    @property
+    def peers(self) -> dict[str, int]:
+        return dict(self.peer_port)
+
+
+def _coerce(value: Any, cls: type) -> Any:
+    if isinstance(value, cls):
+        return value
+    if isinstance(value, Mapping):
+        known = {f.name for f in fields(cls)}
+        unknown = set(value) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {cls.__name__} fields: {sorted(unknown)}"
+            )
+        return cls(**value)
+    raise ConfigurationError(
+        f"expected a {cls.__name__} or mapping, got {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class NetworkTopology:
+    """A frozen, JSON round-trippable network of routers.
+
+    >>> topo = NetworkTopology(
+    ...     name="pair",
+    ...     nodes=[RouterNode("a", 3), RouterNode("b", 3)],
+    ...     links=[Link("a", "b"), Link("b", "a")],
+    ... )
+    >>> topo.port_map()["a"].access_ports
+    (1, 2)
+    """
+
+    name: str
+    nodes: tuple[RouterNode, ...]
+    links: tuple[Link, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a topology needs a name")
+        object.__setattr__(
+            self,
+            "nodes",
+            tuple(_coerce(n, RouterNode) for n in self.nodes),
+        )
+        object.__setattr__(
+            self, "links", tuple(_coerce(l, Link) for l in self.links)
+        )
+        if not self.nodes:
+            raise ConfigurationError("a topology needs at least one node")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(f"duplicate node names: {dupes}")
+        known = set(names)
+        seen: set[tuple[str, str]] = set()
+        for link in self.links:
+            for end in (link.src, link.dst):
+                if end not in known:
+                    raise ConfigurationError(
+                        f"link references unknown node {end!r}"
+                    )
+            key = (link.src, link.dst)
+            if key in seen:
+                raise ConfigurationError(
+                    f"duplicate directed link {link.src!r} -> {link.dst!r} "
+                    "(merge parallel links into one capacity)"
+                )
+            seen.add(key)
+        self.port_map()  # fail fast if cables exceed any node's ports
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+
+    def node(self, name: str) -> RouterNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise ConfigurationError(f"unknown node {name!r}")
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(n.name for n in self.nodes)
+
+    def port_map(self) -> dict[str, PortMap]:
+        """Deterministic port assignment of every node.
+
+        Cables (unordered node pairs with at least one directed link)
+        claim ports in link declaration order; the remainder are access
+        ports.  Raises if any node's cables exceed its port count.
+        """
+        assignment: dict[str, dict[str, int]] = {
+            n.name: {} for n in self.nodes
+        }
+        for link in self.links:
+            for a, b in ((link.src, link.dst), (link.dst, link.src)):
+                if b not in assignment[a]:
+                    assignment[a][b] = len(assignment[a])
+        out = {}
+        for node in self.nodes:
+            used = len(assignment[node.name])
+            if used > node.ports:
+                raise ConfigurationError(
+                    f"node {node.name!r} has {node.ports} ports but "
+                    f"{used} cables"
+                )
+            out[node.name] = PortMap(
+                peer_port=tuple(assignment[node.name].items()),
+                access_ports=tuple(range(used, node.ports)),
+            )
+        return out
+
+    def out_neighbors(self) -> dict[str, tuple[str, ...]]:
+        """Directed adjacency in deterministic (declaration) order."""
+        adj: dict[str, list[str]] = {n.name: [] for n in self.nodes}
+        for link in self.links:
+            adj[link.src].append(link.dst)
+        return {name: tuple(peers) for name, peers in adj.items()}
+
+    def link(self, src: str, dst: str) -> Link:
+        for link in self.links:
+            if link.src == src and link.dst == dst:
+                return link
+        raise ConfigurationError(f"no link {src!r} -> {dst!r}")
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "name": self.name,
+            "nodes": [n.to_dict() for n in self.nodes],
+            "links": [l.to_dict() for l in self.links],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetworkTopology":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown topology fields: {sorted(unknown)}; "
+                f"valid fields: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NetworkTopology":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"topology is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the topology's full content."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def replace(self, **overrides: Any) -> "NetworkTopology":
+        return replace(self, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+
+def _both(src: str, dst: str, capacity: float) -> list[Link]:
+    """One cable: a directed link each way."""
+    return [Link(src, dst, capacity), Link(dst, src, capacity)]
+
+
+def single(
+    ports: int = 8,
+    architecture: str = "crossbar",
+    tech: str = "0.18um",
+    name: str = "single",
+) -> NetworkTopology:
+    """One standalone router — all ports are access ports.
+
+    The degenerate topology whose network run must be bit-identical to
+    a standalone :class:`~repro.api.PowerModel` run of the same
+    scenario.
+    """
+    return NetworkTopology(
+        name=name,
+        nodes=(RouterNode("r0", ports, architecture, tech),),
+    )
+
+
+def line(
+    n: int,
+    access_ports: int = 1,
+    capacity: float = 1.0,
+    architecture: str = "crossbar",
+    tech: str = "0.18um",
+    name: str | None = None,
+) -> NetworkTopology:
+    """``n`` routers in a chain: r0 — r1 — ... — r(n-1)."""
+    if n < 2:
+        raise ConfigurationError("a line needs at least 2 nodes")
+    nodes = []
+    links: list[Link] = []
+    for i in range(n):
+        cables = 1 if i in (0, n - 1) else 2
+        nodes.append(
+            RouterNode(f"r{i}", cables + access_ports, architecture, tech)
+        )
+    for i in range(n - 1):
+        links.extend(_both(f"r{i}", f"r{i + 1}", capacity))
+    return NetworkTopology(name or f"line{n}", tuple(nodes), tuple(links))
+
+
+def star(
+    leaves: int,
+    access_ports: int = 1,
+    capacity: float = 1.0,
+    architecture: str = "crossbar",
+    tech: str = "0.18um",
+    name: str | None = None,
+) -> NetworkTopology:
+    """A hub router with ``leaves`` single-homed leaf routers."""
+    if leaves < 2:
+        raise ConfigurationError("a star needs at least 2 leaves")
+    nodes = [RouterNode("hub", leaves + access_ports, architecture, tech)]
+    links: list[Link] = []
+    for i in range(leaves):
+        nodes.append(
+            RouterNode(f"leaf{i}", 1 + access_ports, architecture, tech)
+        )
+        links.extend(_both("hub", f"leaf{i}", capacity))
+    return NetworkTopology(name or f"star{leaves}", tuple(nodes), tuple(links))
+
+
+def mesh(
+    n: int,
+    access_ports: int = 1,
+    capacity: float = 1.0,
+    architecture: str = "crossbar",
+    tech: str = "0.18um",
+    name: str | None = None,
+) -> NetworkTopology:
+    """A full mesh of ``n`` routers (every pair cabled)."""
+    if n < 2:
+        raise ConfigurationError("a mesh needs at least 2 nodes")
+    nodes = [
+        RouterNode(f"r{i}", (n - 1) + access_ports, architecture, tech)
+        for i in range(n)
+    ]
+    links: list[Link] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            links.extend(_both(f"r{i}", f"r{j}", capacity))
+    return NetworkTopology(name or f"mesh{n}", tuple(nodes), tuple(links))
+
+
+def dumbbell(
+    left: int = 3,
+    right: int = 3,
+    access_ports: int = 1,
+    capacity: float = 1.0,
+    bottleneck_capacity: float = 1.0,
+    architecture: str = "crossbar",
+    tech: str = "0.18um",
+    name: str | None = None,
+) -> NetworkTopology:
+    """Two leaf clusters joined by a two-hub bottleneck.
+
+    ``l0..l{left-1}`` — ``hub_l`` = ``hub_r`` — ``r0..r{right-1}``; the
+    hub-to-hub cable is the bottleneck (its capacity is configurable
+    separately).  The classic switch-off topology: traffic that stays
+    within one cluster leaves the other side's ports idle.
+    """
+    if left < 1 or right < 1:
+        raise ConfigurationError("a dumbbell needs leaves on both sides")
+    nodes = [
+        RouterNode("hub_l", left + 1 + access_ports, architecture, tech),
+        RouterNode("hub_r", right + 1 + access_ports, architecture, tech),
+    ]
+    links = _both("hub_l", "hub_r", bottleneck_capacity)
+    for i in range(left):
+        nodes.append(RouterNode(f"l{i}", 1 + access_ports, architecture, tech))
+        links.extend(_both(f"l{i}", "hub_l", capacity))
+    for i in range(right):
+        nodes.append(RouterNode(f"r{i}", 1 + access_ports, architecture, tech))
+        links.extend(_both(f"r{i}", "hub_r", capacity))
+    return NetworkTopology(
+        name or f"dumbbell{left}x{right}", tuple(nodes), tuple(links)
+    )
+
+
+def fat_tree(
+    k: int = 4,
+    capacity: float = 1.0,
+    architecture: str = "crossbar",
+    tech: str = "0.18um",
+    name: str | None = None,
+) -> NetworkTopology:
+    """A k-ary fat-tree: (k/2)^2 cores, k pods of k/2 agg + k/2 edge.
+
+    Every switch has exactly ``k`` ports.  Edge switches use k/2 ports
+    for uplinks and keep k/2 access ports (the host side); aggregation
+    and core switches are all-cable.  ``fat_tree(4)`` is the classic
+    20-switch evaluation fabric.
+    """
+    if k < 2 or k % 2:
+        raise ConfigurationError("fat_tree needs an even k >= 2")
+    half = k // 2
+    nodes = []
+    links: list[Link] = []
+    for c in range(half * half):
+        nodes.append(RouterNode(f"core{c}", k, architecture, tech))
+    for p in range(k):
+        for a in range(half):
+            nodes.append(RouterNode(f"agg{p}_{a}", k, architecture, tech))
+        for e in range(half):
+            nodes.append(RouterNode(f"edge{p}_{e}", k, architecture, tech))
+        for a in range(half):
+            for e in range(half):
+                links.extend(_both(f"agg{p}_{a}", f"edge{p}_{e}", capacity))
+            for c in range(half):
+                links.extend(
+                    _both(f"agg{p}_{a}", f"core{a * half + c}", capacity)
+                )
+    return NetworkTopology(name or f"fat_tree_k{k}", tuple(nodes), tuple(links))
+
+
+#: Generator registry (used by spec files that name a shape).
+GENERATORS = {
+    "single": single,
+    "line": line,
+    "star": star,
+    "mesh": mesh,
+    "dumbbell": dumbbell,
+    "fat_tree": fat_tree,
+}
+
+
+def edge_nodes(topology: NetworkTopology) -> tuple[str, ...]:
+    """Nodes with at least one access port — the traffic endpoints."""
+    pm = topology.port_map()
+    return tuple(
+        name for name in topology.node_names if pm[name].access_ports
+    )

@@ -41,9 +41,11 @@ result:
   identically, so reference-vs-vectorized equivalence holds per stream.
 
 ``load`` may be a per-port vector (one arrival probability per ingress
-port) anywhere a Bernoulli-thinned generator accepts a scalar;
-:data:`BurstyTraffic` is the exception (its on/off calibration needs a
-scalar).
+port) anywhere a generator accepts a scalar.  :data:`BurstyTraffic`
+calibrates its on/off dwell parameters *per port* for vector loads
+(every port keeps the shared mean ON dwell ``burst_len`` while its
+stationary ON probability matches its own load); the scalar path is
+bit-identical to the historical scalar-only implementation.
 """
 
 from __future__ import annotations
@@ -599,40 +601,52 @@ class BurstyTraffic(TrafficGenerator):
     load equals ``load``.  Bursty arrivals stress queues far more than
     Bernoulli at equal load — the classic motivation for buffer
     ablations.
+
+    ``load`` may be a per-port vector: every port keeps the shared mean
+    ON dwell ``burst_len`` while its OFF dwell is calibrated so the
+    port's stationary ON probability equals its own target load (a port
+    at load 0 simply never turns on).  A scalar load takes the exact
+    historical code path — same dwell parameters, same RNG draws —
+    so scalar results stay bit-identical.
     """
 
     def __init__(
         self,
         ports: int,
-        load: float,
+        load: float | list[float],
         burst_len: float = 8.0,
         packet_bits: int = 480,
         bus_width: int = 32,
     ) -> None:
         super().__init__(ports, bus_width)
-        if np.ndim(load) != 0:
-            raise ConfigurationError(
-                "bursty traffic needs a scalar load (its on/off dwell "
-                "calibration is per-process, not per-port)"
-            )
-        load = float(load)
-        if not 0.0 < load < 1.0:
-            raise ConfigurationError("bursty load must be in (0, 1)")
         if burst_len < 1.0:
             raise ConfigurationError("burst_len must be >= 1")
-        self.load = load
+        if np.ndim(load) == 0:
+            if not 0.0 < float(load) < 1.0:
+                raise ConfigurationError("bursty load must be in (0, 1)")
+        self.load, load_per_port = per_port_loads(load, ports)
+        if float(load_per_port.max()) >= 1.0:
+            raise ConfigurationError(
+                "per-port bursty loads must be < 1 (a port at load 1.0 "
+                "never leaves the ON state)"
+            )
         self.burst_len = burst_len
         self.packet_bits = packet_bits
-        # P(ON -> OFF) and P(OFF -> ON) giving mean ON dwell burst_len
-        # and stationary P(ON) = load.
+        self._load_per_port = load_per_port
+        # P(ON -> OFF) and per-port P(OFF -> ON) giving mean ON dwell
+        # burst_len and stationary P(ON) = that port's load.  The
+        # element-wise arithmetic mirrors the historical scalar formula
+        # operation-for-operation, so a uniform vector (and the scalar
+        # fast path) produces bit-identical dwell parameters.
         self._p_off = 1.0 / burst_len
-        off_dwell = burst_len * (1.0 - load) / load
-        self._p_on = 1.0 / off_dwell
+        with np.errstate(divide="ignore"):
+            off_dwell = burst_len * (1.0 - load_per_port) / load_per_port
+            self._p_on = np.where(load_per_port > 0.0, 1.0 / off_dwell, 0.0)
         self._state: np.ndarray | None = None
 
     def _slot_batch(self, slot: int, rng: np.random.Generator) -> ArrivalBatch:
         if self._state is None:
-            self._state = rng.random(self.ports) < self.load
+            self._state = rng.random(self.ports) < self._load_per_port
         flips = rng.random(self.ports)
         self._state = np.where(
             self._state, flips >= self._p_off, flips < self._p_on
@@ -648,7 +662,7 @@ class BurstyTraffic(TrafficGenerator):
         # The Markov chain stays sequential, but all its flip draws (and
         # every destination of the chunk) come from single RNG calls.
         if self._state is None:
-            self._state = rng.random(self.ports) < self.load
+            self._state = rng.random(self.ports) < self._load_per_port
         flips = rng.random((count, self.ports))
         state = self._state
         srcs_by_slot = []

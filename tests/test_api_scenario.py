@@ -266,9 +266,17 @@ class TestPerPortLoadVectors:
         with pytest.raises(ConfigurationError, match="simulate-only"):
             Scenario("crossbar", 4, [0.1, 0.2, 0.3, 0.4], backend="estimate")
 
-    def test_vector_load_bursty_rejected(self):
-        with pytest.raises(ConfigurationError, match="scalar"):
-            Scenario("crossbar", 4, [0.1, 0.2, 0.3, 0.4], traffic="bursty")
+    def test_vector_load_bursty_accepted(self):
+        s = Scenario("crossbar", 4, [0.0, 0.2, 0.3, 0.4], traffic="bursty")
+        traffic = s.build_traffic()
+        assert traffic.load == pytest.approx(0.225)
+
+    def test_vector_load_bursty_saturated_port_rejected(self):
+        # A port pinned at load 1.0 never leaves the ON state; the
+        # generator rejects it at build time.
+        s = Scenario("crossbar", 4, [0.1, 1.0, 0.3, 0.4], traffic="bursty")
+        with pytest.raises(ConfigurationError, match="< 1"):
+            s.build_traffic()
 
     def test_grid_accepts_vector_loads(self):
         scenarios = Scenario.grid(

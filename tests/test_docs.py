@@ -91,7 +91,15 @@ def test_architecture_names_real_packages():
         importlib.import_module(module)
 
 
-def test_readme_documents_bursty_limit():
+def test_readme_documents_bursty_per_port_loads():
     text = (REPO_ROOT / "README.md").read_text()
     assert "bursty" in text
-    assert "scalar load only" in text
+    assert "per port" in text
+
+
+def test_reproducing_names_live_network_presets():
+    from repro.network import network_names
+
+    text = (REPO_ROOT / "docs" / "REPRODUCING.md").read_text()
+    for name in network_names():
+        assert name in text, f"docs/REPRODUCING.md does not mention {name!r}"

@@ -226,6 +226,36 @@ class TestPerPortLoadVectors:
         with pytest.raises(ConfigurationError, match="4 entries"):
             BernoulliUniformTraffic(4, [0.5, 0.5])
 
-    def test_bursty_needs_scalar(self):
-        with pytest.raises(ConfigurationError, match="scalar"):
-            BurstyTraffic(4, [0.5, 0.5, 0.5, 0.5])
+    def test_bursty_vector_matches_scalar_bit_for_bit(self):
+        # The scalar fast path and a uniform per-port vector must draw
+        # and emit identically (the PR 3 scalar contract is preserved).
+        scalar = BurstyTraffic(4, 0.5)
+        vector = BurstyTraffic(4, [0.5, 0.5, 0.5, 0.5])
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        for slot in range(100):
+            a = scalar.arrivals_batch(slot, rng_a)
+            b = vector.arrivals_batch(slot, rng_b)
+            assert a.srcs.tolist() == b.srcs.tolist()
+            assert a.dests.tolist() == b.dests.tolist()
+            assert a.payload_words.tolist() == b.payload_words.tolist()
+
+    def test_bursty_per_port_calibration(self):
+        # A zero-load port never turns on; loaded ports approach their
+        # own stationary ON probability.
+        gen = BurstyTraffic(4, [0.0, 0.8, 0.3, 0.0], burst_len=4.0)
+        rng = np.random.default_rng(5)
+        counts = np.zeros(4)
+        slots = 6000
+        for slot in range(slots):
+            batch = gen.arrivals_batch(slot, rng)
+            for src in batch.srcs.tolist():
+                counts[src] += 1
+        rates = counts / slots
+        assert rates[0] == 0.0 and rates[3] == 0.0
+        assert rates[1] == pytest.approx(0.8, abs=0.06)
+        assert rates[2] == pytest.approx(0.3, abs=0.06)
+
+    def test_bursty_saturated_port_rejected(self):
+        with pytest.raises(ConfigurationError, match="< 1"):
+            BurstyTraffic(4, [0.5, 1.0, 0.5, 0.5])
