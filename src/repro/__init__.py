@@ -38,6 +38,9 @@ Package map
 - :mod:`repro.network` — network-level data-plane power: topologies,
   traffic matrices, routing, and aggregate router power (per-router
   scenarios derived from routed per-port loads).
+- :mod:`repro.control` — energy-aware control plane: demand series
+  over time, green (least-loaded-link pruning) routing, link sleep
+  states and rate adaptation, power-vs-time and savings-vs-SLA records.
 - :mod:`repro.core` — the bit-energy model (the paper's contribution).
 - :mod:`repro.tech` — technology nodes and the wire model.
 - :mod:`repro.thompson` — Thompson grid wire-length estimation.
@@ -90,6 +93,14 @@ from repro.network import (
     get_network,
     run_network,
 )
+from repro.control import (
+    ControlModel,
+    ControlRecord,
+    ControlSpec,
+    DemandSeries,
+    get_control,
+    run_control,
+)
 
 __all__ = [
     "__version__",
@@ -129,4 +140,10 @@ __all__ = [
     "NetworkRecord",
     "get_network",
     "run_network",
+    "DemandSeries",
+    "ControlSpec",
+    "ControlModel",
+    "ControlRecord",
+    "get_control",
+    "run_control",
 ]

@@ -19,11 +19,14 @@ analytical-vs-simulated deltas and CSV/JSON/markdown export:
   result cache) or the table models.
 * :func:`get_campaign` / :data:`PRESET_CAMPAIGNS` — the built-in
   presets (``fig9``, ``fig10``, ``table1``, ``table2``,
-  ``fig9_vs_analytical``, plus the network kinds
-  ``fat_tree_k4_sweep`` and ``dumbbell_switchoff``).
+  ``fig9_vs_analytical``, the network kinds ``fat_tree_k4_sweep`` and
+  ``dumbbell_switchoff``, and the control kinds ``fat_tree_diurnal``
+  and ``dumbbell_sleep_sweep``).
 * :func:`render_report` — paper-style text report of a record.
 * ``kind="network"`` campaigns sweep a :class:`repro.network`
-  spec over demand scales (per-node rows under (scale, node) axes).
+  spec over demand scales (per-node rows under (scale, node) axes);
+  ``kind="control"`` campaigns run a :mod:`repro.control` series
+  (per-epoch rows plus a series total).
 * :class:`~repro.api.figstore.DerivedRecordStore` (re-exported here) —
   the derived-figure cache: ``run_campaign(figures=...)`` serves a
   warm campaign without a session.
@@ -43,6 +46,9 @@ from repro.campaigns.presets import (
 )
 from repro.campaigns.reporting import render_report
 from repro.campaigns.runner import (
+    CONTROL_AXES,
+    CONTROL_METRICS,
+    CONTROL_TOTAL_EPOCH,
     GRID_METRICS,
     NETWORK_AXES,
     NETWORK_METRICS,
@@ -59,6 +65,9 @@ __all__ = [
     "NETWORK_AXES",
     "NETWORK_METRICS",
     "NETWORK_TOTAL_NODE",
+    "CONTROL_AXES",
+    "CONTROL_METRICS",
+    "CONTROL_TOTAL_EPOCH",
     "ComparisonRecord",
     "DerivedRecordStore",
     "PRESET_CAMPAIGNS",

@@ -15,6 +15,10 @@ table1              table1   9 switch entries, gate-level               Table 1 
 table2              table2   banyan SRAM rows 4..128 ports              Table 2 buffer bit energy
 fat_tree_k4_sweep   network  20-switch k=4 fat-tree x 4 demand scales   network-level extension (ECMP)
 dumbbell_switchoff  network  3+3 dumbbell hotspot x 2 demand scales     network-level extension (switch-off)
+fat_tree_diurnal    control  fat tree x 4-epoch diurnal demand,          control-plane extension (green
+                             green routing + sleep states                routing)
+dumbbell_sleep_sweep control dumbbell x 5-epoch step demand, rate        control-plane extension (sleep and
+                             adaptation + sleep + 2-point SLA sweep      rate adaptation)
 ==================  =======  ==========================================  =====================================
 
 See ``docs/REPRODUCING.md`` for the full figure/table <-> preset <->
@@ -113,6 +117,26 @@ def _dumbbell_switchoff() -> Campaign:
     )
 
 
+def _fat_tree_diurnal() -> Campaign:
+    """The fat tree driven through a diurnal day by the control plane."""
+    return Campaign(
+        name="fat_tree_diurnal",
+        kind="control",
+        title="Fat-tree k=4 — green routing + sleep over a diurnal day",
+        params={"control": "fat_tree_diurnal"},
+    )
+
+
+def _dumbbell_sleep_sweep() -> Campaign:
+    """Dumbbell step series with sleep states and an SLA sweep."""
+    return Campaign(
+        name="dumbbell_sleep_sweep",
+        kind="control",
+        title="Dumbbell — sleep + rate adaptation over a step series",
+        params={"control": "dumbbell_sleep_sweep"},
+    )
+
+
 #: Factories for the named campaign presets.
 PRESET_CAMPAIGNS = {
     "fig9": _fig9,
@@ -122,6 +146,8 @@ PRESET_CAMPAIGNS = {
     "fig9_vs_analytical": _fig9_vs_analytical,
     "fat_tree_k4_sweep": _fat_tree_k4_sweep,
     "dumbbell_switchoff": _dumbbell_switchoff,
+    "fat_tree_diurnal": _fat_tree_diurnal,
+    "dumbbell_sleep_sweep": _dumbbell_sleep_sweep,
 }
 
 

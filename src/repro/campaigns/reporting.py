@@ -220,6 +220,47 @@ def _network_sections(record: ComparisonRecord) -> list[str]:
     return sections
 
 
+def _control_sections(record: ComparisonRecord) -> list[str]:
+    from repro.campaigns.runner import CONTROL_TOTAL_EPOCH
+
+    sections = []
+    rows = []
+    total_row = None
+    for p in record.points:
+        if p["epoch"] == CONTROL_TOTAL_EPOCH:
+            total_row = p
+            continue
+        rows.append(
+            [
+                str(p["epoch"]),
+                f"{p['scale']:.3f}",
+                p["config"] or "-",
+                str(p["links_up"]),
+                str(p["links_asleep"]),
+                f"{p['max_link_utilization']:.1%}",
+                f"{to_mW(p['power_w']):.4f}",
+                f"{to_mW(p['fixed_power_w']):.4f}",
+                f"{to_mW(p['savings_w']):.4f}",
+            ]
+        )
+    sections.append(
+        format_table(
+            ["epoch", "scale", "config", "links up", "asleep", "max util",
+             "power mW", "fixed mW", "saved mW"],
+            rows,
+            title="per-epoch control-plane power",
+        )
+    )
+    if total_row is not None:
+        sections.append(
+            f"series mean: {to_mW(total_row['power_w']):.4f} mW vs fixed "
+            f"{to_mW(total_row['fixed_power_w']):.4f} mW "
+            f"(saved {to_mW(total_row['savings_w']):.4f} mW, mean links up "
+            f"{total_row['links_up']:.2f})"
+        )
+    return sections
+
+
 def render_report(record: ComparisonRecord) -> str:
     """The full paper-style text report of one executed campaign."""
     campaign = record.campaign
@@ -232,6 +273,8 @@ def render_report(record: ComparisonRecord) -> str:
         sections = _table2_sections(record)
     elif campaign.kind == "network":
         sections = _network_sections(record)
+    elif campaign.kind == "control":
+        sections = _control_sections(record)
     else:
         sections = _grid_sections(record)
     return "\n\n".join([header] + sections)

@@ -20,6 +20,10 @@ through their dedicated models.
   :class:`~repro.network.power.NetworkPowerModel` (every constituent
   :class:`~repro.network.power.NetworkRecord` also lands in the
   derived-figure store, keyed by its spec's topology+matrix hash).
+* ``control`` campaigns run an energy-aware control-plane series
+  (:class:`~repro.control.model.ControlModel`): per-epoch rows plus a
+  series-total row, with per-epoch baselines and the whole
+  :class:`~repro.control.record.ControlRecord` figure-cached.
 
 Passing ``figures=`` (a :class:`~repro.api.figstore.
 DerivedRecordStore`) caches the *aggregated* record keyed by
@@ -83,6 +87,25 @@ NETWORK_METRICS = (
 #: The synthetic per-scale aggregate row's node name.
 NETWORK_TOTAL_NODE = "(total)"
 
+#: Axis / metric columns of a control campaign's points.  The
+#: ``"(total)"`` epoch row carries the series-wide aggregates (mean
+#: power, mean savings).
+CONTROL_AXES = ("epoch",)
+CONTROL_METRICS = (
+    "scale",
+    "config",
+    "links_up",
+    "links_asleep",
+    "powered_ports",
+    "max_link_utilization",
+    "power_w",
+    "fixed_power_w",
+    "savings_w",
+)
+
+#: The synthetic aggregate row's epoch name.
+CONTROL_TOTAL_EPOCH = "(total)"
+
 _DEFAULT_TABLE2_PORTS = (4, 8, 16, 32, 64, 128)
 
 
@@ -133,6 +156,29 @@ def _network_total_point(scale: float, record) -> dict[str, Any]:
     }
 
 
+def _control_epoch_point(row: dict[str, Any]) -> dict[str, Any]:
+    point: dict[str, Any] = {"epoch": row["epoch"]}
+    for metric in CONTROL_METRICS:
+        point[metric] = row.get(metric)
+    return point
+
+
+def _control_total_point(record) -> dict[str, Any]:
+    totals = record.totals
+    return {
+        "epoch": CONTROL_TOTAL_EPOCH,
+        "scale": None,
+        "config": None,
+        "links_up": totals["mean_links_up"],
+        "links_asleep": None,
+        "powered_ports": None,
+        "max_link_utilization": totals["max_utilization"],
+        "power_w": totals["mean_power_w"],
+        "fixed_power_w": totals["mean_fixed_power_w"],
+        "savings_w": totals["mean_savings_w"],
+    }
+
+
 def campaign_plan(campaign: Campaign) -> list[dict[str, Any]]:
     """Per-point axis assignments, without executing anything.
 
@@ -174,6 +220,47 @@ def campaign_plan(campaign: Campaign) -> list[dict[str, Any]]:
                     "load": sum(means) / len(means),
                 }
             )
+        return plan
+    if campaign.kind == "control":
+        from repro.network.routing import route
+
+        spec = campaign.control_spec()
+        plan = []
+        routed: dict[float, float] = {}
+        for epoch in range(spec.series.epochs):
+            scale = spec.series.scales[epoch]
+            if scale not in routed:
+                # Route the epoch's matrix (cheap — no simulation) so
+                # an infeasible series fails the dry-run.
+                routing = route(
+                    spec.network.topology,
+                    spec.series.matrix(epoch),
+                    spec.network.routing,
+                )
+                utils = [
+                    load
+                    / spec.network.topology.link(src, dst).capacity
+                    for (src, dst), load in routing.link_loads.items()
+                ]
+                routed[scale] = max(utils) if utils else 0.0
+            plan.append(
+                {
+                    "epoch": epoch,
+                    "scale": scale,
+                    "total_demand": spec.series.matrix(epoch).total(),
+                    "max_link_utilization": routed[scale],
+                }
+            )
+        # The synthetic aggregate row the executed record will carry,
+        # so the plan's point count matches Campaign.size().
+        plan.append(
+            {
+                "epoch": CONTROL_TOTAL_EPOCH,
+                "scale": None,
+                "total_demand": None,
+                "max_link_utilization": max(routed.values()),
+            }
+        )
         return plan
     if campaign.kind == "table2":
         ports = campaign.params_dict.get("ports", _DEFAULT_TABLE2_PORTS)
@@ -217,6 +304,35 @@ def _run_network(
         metrics=NETWORK_METRICS,
         points=points,
         detail=records,
+    )
+
+
+def _run_control(
+    campaign: Campaign,
+    session: PowerModel | None,
+    workers: int | None,
+    executor: str,
+    store: RunRecordStore | None,
+    figures: DerivedRecordStore | None,
+) -> ComparisonRecord:
+    from repro.control.model import ControlModel
+
+    spec = campaign.control_spec()
+    record = ControlModel(session).run(
+        spec,
+        workers=workers,
+        executor=executor,
+        store=store,
+        figures=figures,
+    )
+    points = [_control_epoch_point(row) for row in record.epochs]
+    points.append(_control_total_point(record))
+    return ComparisonRecord(
+        campaign=campaign,
+        axes=CONTROL_AXES,
+        metrics=CONTROL_METRICS,
+        points=points,
+        detail=record,
     )
 
 
@@ -363,6 +479,10 @@ def run_campaign(
         record = _run_network(
             campaign, session, workers, executor, store, figures
         )
+    elif campaign.kind == "control":
+        record = _run_control(
+            campaign, session, workers, executor, store, figures
+        )
     else:
         if session is None:
             session = default_session()
@@ -375,16 +495,20 @@ def run_campaign(
 def _figure_key(campaign: Campaign) -> str:
     """The derived-figure store key of a campaign's aggregated record.
 
-    For most kinds this is ``Campaign.content_hash()``.  A network
-    campaign that references a preset *by name* resolves the spec at
-    run time, so the resolved :class:`~repro.network.power.NetworkSpec`
-    content is mixed in — editing a network preset must miss the
-    figure cache, not serve the pre-edit record under an unchanged
-    campaign hash.
+    For most kinds this is ``Campaign.content_hash()``.  A network or
+    control campaign that references a preset *by name* resolves the
+    spec at run time, so the resolved spec content is mixed in —
+    editing a preset must miss the figure cache, not serve the pre-edit
+    record under an unchanged campaign hash.
     """
     if campaign.kind == "network":
         combined = (
             campaign.content_hash() + campaign.network_spec().content_hash()
+        )
+        return hashlib.sha256(combined.encode()).hexdigest()
+    if campaign.kind == "control":
+        combined = (
+            campaign.content_hash() + campaign.control_spec().content_hash()
         )
         return hashlib.sha256(combined.encode()).hexdigest()
     return campaign.content_hash()

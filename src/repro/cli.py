@@ -8,15 +8,18 @@ Commands
 ``batch``      run a JSON file of scenarios (mixed backends) in parallel.
 ``campaign``   run/list/report declarative paper-reproduction campaigns.
 ``network``    run/list/report network-level aggregate power specs.
+``control``    run/list/report energy-aware control-plane series.
 ``table1``     regenerate Table 1 via gate-level characterisation.
 ``table2``     regenerate Table 2 via the SRAM model.
 
 ``estimate``/``simulate``/``sweep`` are thin wrappers over the
 :mod:`repro.api` session layer; ``batch`` is its native front end,
 ``campaign`` fronts :mod:`repro.campaigns` (whole figures/tables as one
-cached, parallel batch — see ``docs/REPRODUCING.md``) and ``network``
+cached, parallel batch — see ``docs/REPRODUCING.md``), ``network``
 fronts :mod:`repro.network` (topology + traffic matrix + routing →
-aggregate router power).  All commands share one
+aggregate router power) and ``control`` fronts :mod:`repro.control`
+(demand over time + green routing + link power states → power vs time
+and savings vs SLA).  All commands share one
 :class:`~repro.wire_modes.WireMode` vocabulary for ``--wire-mode``
 (``worst_case``/``expected``/``per_link``), translated per backend.
 
@@ -32,6 +35,8 @@ Examples
     python -m repro campaign report table2
     python -m repro network run fat_tree_k4 --workers 4
     python -m repro network report dumbbell_switchoff
+    python -m repro control run fat_tree_diurnal --workers 4
+    python -m repro control report dumbbell_sleep_sweep
     python -m repro table2
 """
 
@@ -363,6 +368,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_network_exec(net_report)
 
+    control = sub.add_parser(
+        "control",
+        help="energy-aware control plane (demand series + green routing "
+        "+ link power states)",
+    )
+    control_sub = control.add_subparsers(dest="control_command",
+                                         required=True)
+
+    def _add_control_exec(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "name",
+            help="built-in control preset (repro control list) or a "
+            "ControlSpec JSON file",
+        )
+        p.add_argument(
+            "--workers", type=int, default=1, help="worker-pool width"
+        )
+        p.add_argument(
+            "--executor",
+            choices=("thread", "process"),
+            default="thread",
+            help="worker pool kind for the per-router scenario batches",
+        )
+        p.add_argument(
+            "--cache",
+            default=None,
+            metavar="PATH",
+            help="JSONL per-scenario result cache shared by every epoch; "
+            "a warm cache re-runs the series with zero new simulations",
+        )
+        p.add_argument(
+            "--figures",
+            default=None,
+            metavar="PATH",
+            help="JSONL derived-figure cache: per-epoch baselines keyed "
+            "per epoch spec plus the whole ControlRecord keyed by the "
+            "control spec's content hash",
+        )
+
+    ctl_run = control_sub.add_parser(
+        "run", help="execute a control spec into a ControlRecord"
+    )
+    _add_control_exec(ctl_run)
+    ctl_run.add_argument(
+        "--format",
+        choices=("table", "csv", "json", "markdown"),
+        default="table",
+        help="report format written to stdout (or --output)",
+    )
+    ctl_run.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    ctl_run.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        dest="csv_path",
+        help="additionally export the per-epoch record as CSV",
+    )
+    ctl_run.add_argument(
+        "--sla-csv",
+        default=None,
+        metavar="PATH",
+        dest="sla_csv_path",
+        help="additionally export the savings-vs-SLA curve as CSV",
+    )
+    ctl_run.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="additionally export the record as JSON",
+    )
+    ctl_run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="route every epoch and print the per-epoch demand plan "
+        "without simulating anything",
+    )
+
+    control_sub.add_parser(
+        "list", help="list the built-in control presets"
+    )
+
+    ctl_report = control_sub.add_parser(
+        "report",
+        help="execute (cache-aware) and print the control-plane report",
+    )
+    _add_control_exec(ctl_report)
+
     t1 = sub.add_parser("table1", help="regenerate Table 1 (gate level)")
     t1.add_argument("--cycles", type=int, default=192)
 
@@ -524,11 +621,11 @@ def _resolve_campaign(name: str):
 
 
 def _campaign_store(args, campaign):
-    """A RunRecordStore for scenario-running campaigns (grid/network);
-    table kinds do not run scenarios, so batch-only flags are called
-    out instead of silently ignored (and no misleading cache stats get
-    printed)."""
-    if campaign.kind not in ("grid", "network"):
+    """A RunRecordStore for scenario-running campaigns
+    (grid/network/control); table kinds do not run scenarios, so
+    batch-only flags are called out instead of silently ignored (and no
+    misleading cache stats get printed)."""
+    if campaign.kind not in ("grid", "network", "control"):
         ignored = [
             flag
             for flag, given in (
@@ -723,14 +820,15 @@ def cmd_network(args) -> int:
                     len(spec.topology.nodes),
                     len(spec.topology.links),
                     spec.routing,
+                    1,  # a bare network spec is a single-epoch series
                     "on" if spec.switch_off else "off",
                     f"{spec.matrix.total():.3f}",
                 ]
             )
         print(
             format_table(
-                ["name", "nodes", "links", "routing", "switch-off",
-                 "demand"],
+                ["name", "nodes", "links", "routing", "epochs",
+                 "switch-off", "demand"],
                 rows,
                 title="built-in network presets",
             )
@@ -815,6 +913,144 @@ def cmd_network(args) -> int:
     return 0
 
 
+def _resolve_control(name: str):
+    """A preset name or a ControlSpec JSON file -> :class:`ControlSpec`."""
+    from pathlib import Path
+
+    from repro.control import CONTROL_PRESETS, ControlSpec, get_control
+
+    if name in CONTROL_PRESETS:
+        return get_control(name)
+    path = Path(name)
+    if path.exists():
+        return ControlSpec.from_json(path.read_text())
+    if name.endswith(".json"):
+        raise ConfigurationError(f"cannot read control spec file {name!r}")
+    return get_control(name)  # raises with the known-presets list
+
+
+def cmd_control(args) -> int:
+    from pathlib import Path
+
+    from repro.control import (
+        ControlModel,
+        control_names,
+        get_control,
+        render_control_report,
+    )
+
+    if args.control_command == "list":
+        rows = []
+        for name in control_names():
+            spec = get_control(name)
+            flags = []
+            if spec.optimize:
+                flags.append("green")
+            if spec.sleep:
+                flags.append("sleep")
+            if spec.link_rates != (1.0,):
+                flags.append("rates")
+            rows.append(
+                [
+                    name,
+                    len(spec.network.topology.nodes),
+                    len(spec.network.topology.links),
+                    spec.network.routing,
+                    spec.series.epochs,
+                    f"{spec.max_utilization:g}",
+                    "+".join(flags) or "-",
+                ]
+            )
+        print(
+            format_table(
+                ["name", "nodes", "links", "routing", "epochs",
+                 "headroom", "policies"],
+                rows,
+                title="built-in control presets",
+            )
+        )
+        return 0
+
+    spec = _resolve_control(args.name)
+    model = ControlModel()
+
+    if args.control_command == "run" and args.dry_run:
+        from repro.network.routing import route
+
+        topology = spec.network.topology
+        print(
+            f"control {spec.name}: {spec.series.epochs} epochs x "
+            f"{spec.series.epoch_seconds:g} s, "
+            f"{len(spec.network.topology.nodes)} nodes, "
+            f"{len(spec.network.topology.links)} links, "
+            f"routing={spec.network.routing}, "
+            f"headrooms={','.join(f'{h:g}' for h in spec.headrooms())}"
+        )
+        for i in range(spec.series.epochs):
+            matrix = spec.series.matrix(i)
+            routing = route(topology, matrix, mode=spec.network.routing)
+            max_util = max(
+                (row["utilization"] for row in routing.link_rows()),
+                default=0.0,
+            )
+            print(
+                f"  epoch {i}: scale={spec.series.scale(i):g} "
+                f"demand={matrix.total():.3f} "
+                f"max_util={max_util:.1%}"
+            )
+        return 0
+
+    store = None
+    if args.cache:
+        from repro.api.store import RunRecordStore
+
+        store = RunRecordStore(args.cache)
+    figures = _figure_store(args)
+    record = model.run(
+        spec,
+        workers=args.workers,
+        executor=args.executor,
+        store=store,
+        figures=figures,
+    )
+    _campaign_cache_stats(args, store)
+    _figure_store_stats(args, figures)
+
+    if args.control_command == "report":
+        print(render_control_report(record))
+        return 0
+
+    if args.csv_path:
+        Path(args.csv_path).write_text(record.to_csv())
+        print(f"{len(record.epochs)} epochs -> {args.csv_path}",
+              file=sys.stderr)
+    if args.sla_csv_path:
+        Path(args.sla_csv_path).write_text(record.sla_to_csv())
+        print(f"{len(record.sla)} SLA points -> {args.sla_csv_path}",
+              file=sys.stderr)
+    if args.json_path:
+        Path(args.json_path).write_text(record.to_json() + "\n")
+        print(f"control record -> {args.json_path}", file=sys.stderr)
+    if args.format == "csv":
+        report = record.to_csv()
+    elif args.format == "json":
+        report = record.to_json()
+    elif args.format == "markdown":
+        report = record.to_markdown()
+    else:
+        report = render_control_report(record)
+    if args.output:
+        Path(args.output).write_text(
+            report if report.endswith("\n") else report + "\n"
+        )
+        print(f"control {spec.name} -> {args.output}")
+    else:
+        # CSV already ends with a newline; don't add a second one, so
+        # stdout and --csv/--output files stay byte-identical.
+        print(report, end="" if report.endswith("\n") else "\n")
+    return 0
+
+
 def cmd_table1(args) -> int:
     from repro.gatesim.characterize import regenerate_table1
     from repro.units import to_fJ
@@ -865,6 +1101,7 @@ _COMMANDS = {
     "batch": cmd_batch,
     "campaign": cmd_campaign,
     "network": cmd_network,
+    "control": cmd_control,
     "table1": cmd_table1,
     "table2": cmd_table2,
 }

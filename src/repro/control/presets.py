@@ -1,0 +1,105 @@
+"""Built-in control presets: ready-to-run :class:`ControlSpec` objects.
+
+===================  ========================================================
+preset               what it is
+===================  ========================================================
+fat_tree_diurnal     the k=4 fat tree under a 4-epoch diurnal demand curve
+                     (night trough 0.3x, afternoon peak ~0.95x) with green
+                     routing at 0.85 utilization headroom and deep sleep on
+                     the pruned uplinks — the scale-out green-routing
+                     showcase.
+dumbbell_sleep_sweep the dumbbell under a step series (1.0 → 0.25 → 1.0)
+                     with pruning, 4-step rate adaptation, sleep states and
+                     a 2-point SLA sweep — small enough to trace by hand,
+                     with genuinely idle cables to sleep.
+===================  ========================================================
+
+``repro control list`` prints this registry; ``repro control run NAME``
+executes one (a JSON file of a spec works too).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+from repro.network.presets import get_network
+
+from repro.control.demand import DemandSeries
+from repro.control.spec import ControlSpec
+
+
+def _fat_tree_diurnal() -> ControlSpec:
+    # Same fat tree and ECMP matrix as the network preset, but with the
+    # per-port overhead modelled (otherwise sleeping saves nothing) and
+    # demand following a 4-epoch day: scales ~0.48, 0.35, 0.83, 0.95 —
+    # the peak keeps every uplink well inside the 0.85 headroom, so
+    # pruning stays feasible all day.  Rate adaptation is off on
+    # purpose: the win here is concentrating ECMP traffic onto fewer
+    # uplinks and sleeping the rest (the dumbbell preset covers rates).
+    network = get_network("fat_tree_k4").replace(
+        name="fat_tree_diurnal", port_power_w=0.005
+    )
+    series = DemandSeries.diurnal(
+        network.matrix, epochs=4, low=0.3, peak=1.0, name="diurnal4"
+    )
+    return ControlSpec(
+        name="fat_tree_diurnal",
+        network=network,
+        series=series,
+        optimize=True,
+        max_utilization=0.85,
+        sla_sweep=(0.6,),
+        sleep=True,
+        sleep_power_fraction=0.1,
+        wake_energy_j=0.5,
+    )
+
+
+def _dumbbell_sleep_sweep() -> ControlSpec:
+    # The dumbbell's hotspot matrix leaves the r1/r2 side cables idle,
+    # so they are prunable and sleepable from epoch 0; the step series
+    # dips to quarter load and back, exercising sleep entry/exit and
+    # the wake-energy charge.  switch_off stays off so the savings come
+    # from the control plane, not the PR-5 data-plane policy.
+    network = get_network("dumbbell_switchoff").replace(
+        name="dumbbell_sleep", switch_off=False
+    )
+    series = DemandSeries.step(
+        network.matrix, (1.0, 0.5, 0.25, 0.5, 1.0), name="step5"
+    )
+    return ControlSpec(
+        name="dumbbell_sleep_sweep",
+        network=network,
+        series=series,
+        optimize=True,
+        max_utilization=0.9,
+        sla_sweep=(0.5, 0.75),
+        link_rates=(0.25, 0.5, 0.75, 1.0),
+        sleep=True,
+        sleep_power_fraction=0.05,
+        wake_energy_j=1.0,
+    )
+
+
+#: Factories for the named control presets.
+CONTROL_PRESETS = {
+    "fat_tree_diurnal": _fat_tree_diurnal,
+    "dumbbell_sleep_sweep": _dumbbell_sleep_sweep,
+}
+
+
+def control_names() -> list[str]:
+    """Sorted names of the built-in control presets."""
+    return sorted(CONTROL_PRESETS)
+
+
+def get_control(name: str) -> ControlSpec:
+    """The named preset control spec (a fresh instance)."""
+    try:
+        factory = CONTROL_PRESETS[name]
+    except KeyError:
+        known = ", ".join(control_names())
+        raise ConfigurationError(
+            f"unknown control spec {name!r}; known specs: {known}"
+        ) from None
+    return factory()

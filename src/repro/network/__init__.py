@@ -47,7 +47,14 @@ from repro.network.topology import (
     star,
 )
 from repro.network.traffic_matrix import Demand, TrafficMatrix
-from repro.network.routing import ROUTING_MODES, RoutingResult, route
+from repro.network.routing import (
+    ROUTING_MODES,
+    RoutingResult,
+    RoutingTables,
+    build_tables,
+    derive_port_loads,
+    route,
+)
 from repro.network.power import (
     LINK_COLUMNS,
     NODE_COLUMNS,
@@ -80,6 +87,9 @@ __all__ = [
     "TrafficMatrix",
     "ROUTING_MODES",
     "RoutingResult",
+    "RoutingTables",
+    "build_tables",
+    "derive_port_loads",
     "route",
     "NetworkSpec",
     "NetworkPowerModel",

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.errors import ConfigurationError
+from repro.tech.presets import get_technology
 
 from repro.api.model import PowerModel, default_session
 from repro.api.records import RunRecord
@@ -75,6 +76,7 @@ LINK_COLUMNS = (
     "load",
     "utilization",
     "active",
+    "propagation_power_w",
     "power_w",
 )
 
@@ -107,6 +109,12 @@ class NetworkSpec:
     port_power_w:
         Interface overhead per powered port in watts (line card,
         SerDes, ...).  0.0 keeps the record pure fabric power.
+    propagation_j_per_bit_m:
+        Per-link propagation energy in joules per bit per metre,
+        multiplied by each link's ``length_m`` and carried bit rate
+        (load x the endpoint technology's line rate).  The default 0.0
+        is omitted from :meth:`to_dict`, so existing spec hashes and
+        records are unchanged.
     base:
         Extra :class:`~repro.api.Scenario` fields shared by every
         derived per-router scenario (``backend``, ``traffic``,
@@ -122,6 +130,7 @@ class NetworkSpec:
     switch_off: bool = False
     port_power_w: float = 0.0
     base: tuple[tuple[str, Any], ...] = ()
+    propagation_j_per_bit_m: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -149,6 +158,8 @@ class NetworkSpec:
             )
         if self.port_power_w < 0.0:
             raise ConfigurationError("port_power_w must be >= 0")
+        if self.propagation_j_per_bit_m < 0.0:
+            raise ConfigurationError("propagation_j_per_bit_m must be >= 0")
         base = dict(_freeze_params(self.base))
         object.__setattr__(self, "base", _freeze_params(base))
         bad = set(base) & set(_DERIVED_FIELDS)
@@ -190,7 +201,7 @@ class NetworkSpec:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe dict; :meth:`from_dict` round-trips it exactly."""
-        return {
+        out = {
             "name": self.name,
             "topology": self.topology.to_dict(),
             "matrix": self.matrix.to_dict(),
@@ -199,6 +210,9 @@ class NetworkSpec:
             "port_power_w": self.port_power_w,
             "base": self.base_dict,
         }
+        if self.propagation_j_per_bit_m:
+            out["propagation_j_per_bit_m"] = self.propagation_j_per_bit_m
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "NetworkSpec":
@@ -475,6 +489,29 @@ class NetworkPowerModel:
             if cached is not None:
                 return NetworkRecord.from_dict(cached)
         routing = self.route(spec)
+        record = self.run_routed(
+            spec, routing, workers=workers, executor=executor, store=store
+        )
+        if figures is not None:
+            figures.put(spec.content_hash(), "network", record.to_dict())
+        return record
+
+    def run_routed(
+        self,
+        spec: NetworkSpec,
+        routing: RoutingResult,
+        workers: int | None = None,
+        executor: str = "thread",
+        store: "RunRecordStore | None" = None,
+    ) -> NetworkRecord:
+        """Execute the spec under an externally supplied routing.
+
+        The energy-aware control plane (:mod:`repro.control`) routes on
+        a pruned topology, projects the link loads back onto the full
+        port map, and evaluates the result here — same per-router
+        scenarios, same ``run_batch`` caches, no figure-store entry
+        (the routing is not derivable from the spec alone).
+        """
         pairs = self.scenarios(spec, routing)
         records = self.session.run_batch(
             [scenario for _, scenario in pairs],
@@ -483,10 +520,7 @@ class NetworkPowerModel:
             store=store,
         )
         by_node = {name: rec for (name, _), rec in zip(pairs, records)}
-        record = self._aggregate(spec, routing, by_node)
-        if figures is not None:
-            figures.put(spec.content_hash(), "network", record.to_dict())
-        return record
+        return self._aggregate(spec, routing, by_node)
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -529,13 +563,15 @@ class NetworkPowerModel:
             powered_total += powered
         # Per-link rows: interface power of the cable's endpoint ports,
         # split across the directed links sharing the cable so link
-        # powers sum without double counting.
+        # powers sum without double counting, plus the directed link's
+        # own propagation power (load x line rate x J/bit/m x length).
         directions: dict[frozenset, int] = {}
         for link in spec.topology.links:
             cable = frozenset((link.src, link.dst))
             directions[cable] = directions.get(cable, 0) + 1
         port_map = spec.topology.port_map()
         link_rows = []
+        propagation_total = 0.0
         for row in routing.link_rows():
             src, dst = row["src"], row["dst"]
             endpoints = 0
@@ -544,8 +580,28 @@ class NetworkPowerModel:
                 if not spec.switch_off or routing.active_ports[a][port]:
                     endpoints += 1
             share = directions[frozenset((src, dst))]
+            propagation = 0.0
+            if spec.propagation_j_per_bit_m:
+                length = spec.topology.link(src, dst).length_m
+                if length:
+                    line_rate = get_technology(
+                        spec.topology.node(src).tech
+                    ).line_rate_bps
+                    propagation = (
+                        row["load"]
+                        * line_rate
+                        * spec.propagation_j_per_bit_m
+                        * length
+                    )
+            propagation_total += propagation
             link_rows.append(
-                {**row, "power_w": endpoints * spec.port_power_w / share}
+                {
+                    **row,
+                    "propagation_power_w": propagation,
+                    "power_w": (
+                        endpoints * spec.port_power_w / share + propagation
+                    ),
+                }
             )
         total_ports = sum(n.ports for n in spec.topology.nodes)
         idle_ports = routing.idle_port_count()
@@ -554,9 +610,10 @@ class NetworkPowerModel:
         )
         utils = [row["utilization"] for row in link_rows]
         totals = {
-            "power_w": fabric_total + port_total,
+            "power_w": fabric_total + port_total + propagation_total,
             "fabric_power_w": fabric_total,
             "port_power_w": port_total,
+            "propagation_power_w": propagation_total,
             "switch_off_delta_w": delta,
             "nodes": len(node_rows),
             "links": len(link_rows),

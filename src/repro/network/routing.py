@@ -17,6 +17,15 @@ Two route-computation modes:
   (flow on edge (a, b) = demand x paths-through-edge / total-paths),
   so no path enumeration is needed and the result is deterministic.
 
+Both modes can also be *materialised* as explicit per-router weighted
+next-hop tables (:func:`build_tables` → :class:`RoutingTables`): each
+router holds, per destination, a tuple of ``(next hop, weight)`` pairs,
+and :func:`route` accepts ``tables=`` to forward demands through them
+instead of recomputing paths.  Tables are plain editable state — the
+energy-aware optimizer of :mod:`repro.control` rewrites them after
+pruning links — and table forwarding detects loops and dead ends
+loudly.
+
 Semantics of the produced loads (all in cells/slot):
 
 * every link hop of a routed demand loads the link and the downstream
@@ -65,7 +74,8 @@ class RoutingResult:
     demand_hops:
         ``{(src, dst): hop count}`` of each routed demand (0 for local
         ``src == dst`` demands); under ECMP every shortest path has the
-        same hop count.
+        same hop count.  Table-forwarded results carry the
+        flow-weighted mean path length, which may be fractional.
     ingress_loads / egress_loads:
         ``{node: (load, ...)}`` — one entry per physical port, in the
         topology's deterministic port order.  Ingress loads are what
@@ -80,7 +90,7 @@ class RoutingResult:
     matrix: TrafficMatrix
     mode: str
     link_loads: dict[tuple[str, str], float] = field(default_factory=dict)
-    demand_hops: dict[tuple[str, str], int] = field(default_factory=dict)
+    demand_hops: dict[tuple[str, str], float] = field(default_factory=dict)
     ingress_loads: dict[str, tuple[float, ...]] = field(default_factory=dict)
     egress_loads: dict[str, tuple[float, ...]] = field(default_factory=dict)
     active_ports: dict[str, tuple[bool, ...]] = field(default_factory=dict)
@@ -118,6 +128,198 @@ class RoutingResult:
             sum(1 for active in flags if not active)
             for flags in self.active_ports.values()
         )
+
+
+@dataclass
+class RoutingTables:
+    """Explicit per-router weighted next-hop tables.
+
+    ``tables[router][destination]`` is a tuple of ``(next hop, weight)``
+    pairs; a demand arriving at (or originating from) ``router`` toward
+    ``destination`` is split over the next hops proportionally to the
+    weights.  :func:`build_tables` materialises the ``"shortest"`` /
+    ``"ecmp"`` modes into this form (ECMP weights are shortest-path
+    counts, so table forwarding reproduces the DAG split); the tables
+    are mutable on purpose — optimizers edit entries via
+    :meth:`set_next_hops` and re-route with ``route(..., tables=...)``.
+    """
+
+    mode: str
+    tables: dict[str, dict[str, tuple[tuple[str, float], ...]]] = field(
+        default_factory=dict
+    )
+
+    def next_hops(self, node: str, dst: str) -> tuple[tuple[str, float], ...]:
+        """The ``(next hop, weight)`` entries of ``node`` toward
+        ``dst`` (empty if the table has none)."""
+        return self.tables.get(node, {}).get(dst, ())
+
+    def set_next_hops(
+        self, node: str, dst: str, hops: Any
+    ) -> None:
+        """Replace one table entry (validated: non-empty, weights > 0)."""
+        entries = []
+        for peer, weight in hops:
+            weight = float(weight)
+            if weight <= 0.0:
+                raise ConfigurationError(
+                    f"next-hop weight of {node!r} -> {dst!r} via {peer!r} "
+                    f"must be > 0, got {weight!r}"
+                )
+            if peer == node:
+                raise ConfigurationError(
+                    f"{node!r} cannot be its own next hop toward {dst!r}"
+                )
+            entries.append((str(peer), weight))
+        if not entries:
+            raise ConfigurationError(
+                f"a table entry of {node!r} -> {dst!r} needs at least one "
+                "next hop (drop the entry to make the pair unroutable)"
+            )
+        self.tables.setdefault(node, {})[dst] = tuple(entries)
+
+    def destinations(self) -> tuple[str, ...]:
+        """Every destination any router has an entry for, sorted."""
+        out: set[str] = set()
+        for entries in self.tables.values():
+            out.update(entries)
+        return tuple(sorted(out))
+
+
+def build_tables(
+    topology: NetworkTopology,
+    mode: str = "shortest",
+    destinations: Any = None,
+) -> RoutingTables:
+    """Materialise a routing mode as per-router next-hop tables.
+
+    ``"shortest"`` emits the single next hop :func:`route`'s greedy
+    walk would take (first declaration-order neighbor that reduces the
+    BFS distance); ``"ecmp"`` emits every distance-reducing neighbor
+    weighted by its shortest-path count toward the destination, which
+    makes table forwarding split flows exactly like the shortest-path
+    DAG computation.  ``destinations`` defaults to every node.
+    """
+    if mode not in ROUTING_MODES:
+        raise ConfigurationError(
+            f"routing mode must be one of {ROUTING_MODES}, got {mode!r}"
+        )
+    adj = topology.out_neighbors()
+    reverse: dict[str, list[str]] = {name: [] for name in adj}
+    for a, peers in adj.items():
+        for b in peers:
+            reverse[b].append(a)
+    radj = {name: tuple(peers) for name, peers in reverse.items()}
+    names = topology.node_names
+    dests = tuple(destinations) if destinations is not None else names
+    tables: dict[str, dict[str, tuple[tuple[str, float], ...]]] = {
+        name: {} for name in names
+    }
+    for target in dests:
+        if target not in adj:
+            raise ConfigurationError(f"unknown destination {target!r}")
+        # Distance *to* the target == BFS distance from it over the
+        # reversed adjacency.
+        dist_to = _bfs_distances(radj, target)
+        if mode == "ecmp":
+            # paths[a] = number of shortest a -> target paths, filled in
+            # increasing distance so predecessors are always ready.
+            paths: dict[str, int] = {target: 1}
+            for node in sorted(
+                dist_to, key=lambda n: (dist_to[n], n)
+            ):
+                if node == target:
+                    continue
+                paths[node] = sum(
+                    paths[peer]
+                    for peer in adj[node]
+                    if dist_to.get(peer) == dist_to[node] - 1
+                )
+        for node in names:
+            if node == target or node not in dist_to:
+                continue
+            if mode == "shortest":
+                for peer in adj[node]:
+                    if dist_to.get(peer) == dist_to[node] - 1:
+                        tables[node][target] = ((peer, 1.0),)
+                        break
+            else:
+                tables[node][target] = tuple(
+                    (peer, float(paths[peer]))
+                    for peer in adj[node]
+                    if dist_to.get(peer) == dist_to[node] - 1
+                )
+    return RoutingTables(mode=mode, tables=tables)
+
+
+def _table_edge_flows(
+    tables: RoutingTables, source: str, target: str
+) -> tuple[dict[tuple[str, str], float], float]:
+    """Per-edge flow of one *unit* demand forwarded through tables.
+
+    Returns ``(flows, hops)`` where ``hops`` is the flow-weighted mean
+    path length (total flow placed on edges).  Raises on dead ends
+    (a reachable router with no entry toward ``target``) and on table
+    loops — both are configuration errors of edited tables, not things
+    to saturate silently.
+    """
+    if source == target:
+        return {}, 0.0
+    # Iterative DFS over the table graph: cycle detection plus a
+    # reverse-postorder (topological) node order for the propagation.
+    state: dict[str, int] = {}
+    postorder: list[str] = []
+    stack: list[tuple[str, list[str], int]] = []
+
+    def push(node: str) -> None:
+        if node == target:
+            kids: list[str] = []
+        else:
+            hops = tables.next_hops(node, target)
+            if not hops:
+                raise ConfigurationError(
+                    f"routing tables have no next hop at {node!r} toward "
+                    f"{target!r} (demand {source!r} -> {target!r} is "
+                    "unroutable)"
+                )
+            kids = [peer for peer, _ in hops]
+        state[node] = 1
+        stack.append((node, kids, 0))
+
+    push(source)
+    while stack:
+        node, kids, i = stack.pop()
+        if i < len(kids):
+            stack.append((node, kids, i + 1))
+            child = kids[i]
+            seen = state.get(child)
+            if seen == 1:
+                raise ConfigurationError(
+                    f"routing tables loop through {child!r} toward "
+                    f"{target!r}"
+                )
+            if seen is None:
+                push(child)
+        else:
+            state[node] = 2
+            postorder.append(node)
+    amounts: dict[str, float] = {source: 1.0}
+    flows: dict[tuple[str, str], float] = {}
+    placed = 0.0
+    for node in reversed(postorder):
+        amount = amounts.get(node, 0.0)
+        if node == target or amount == 0.0:
+            continue
+        hops = tables.next_hops(node, target)
+        total_weight = sum(weight for _, weight in hops)
+        for peer, weight in hops:
+            flow = amount * (weight / total_weight)
+            if flow == 0.0:
+                continue
+            flows[(node, peer)] = flows.get((node, peer), 0.0) + flow
+            amounts[peer] = amounts.get(peer, 0.0) + flow
+            placed += flow
+    return flows, placed
 
 
 def _bfs_distances(
@@ -241,15 +443,22 @@ def route(
     topology: NetworkTopology,
     matrix: TrafficMatrix,
     mode: str = "shortest",
+    tables: RoutingTables | None = None,
 ) -> RoutingResult:
     """Route every demand; derive link loads and per-port load vectors.
+
+    With ``tables=`` the demands are forwarded through the given
+    per-router next-hop tables instead of the mode machinery (the
+    result's ``mode`` is then ``"tables"`` and ``demand_hops`` carries
+    flow-weighted mean path lengths, which may be fractional when table
+    edits mix path lengths).
 
     Raises :class:`~repro.errors.ConfigurationError` on unroutable
     demands, on any link whose routed load exceeds its capacity, and on
     any access port whose injected load exceeds line rate — an
     infeasible operating point must fail loudly, not silently saturate.
     """
-    if mode not in ROUTING_MODES:
+    if tables is None and mode not in ROUTING_MODES:
         raise ConfigurationError(
             f"routing mode must be one of {ROUTING_MODES}, got {mode!r}"
         )
@@ -262,10 +471,23 @@ def route(
     adj = topology.out_neighbors()
     cache = _DistCache(adj)
     link_loads = {(l.src, l.dst): 0.0 for l in topology.links}
-    demand_hops: dict[tuple[str, str], int] = {}
+    demand_hops: dict[tuple[str, str], float] = {}
     for d in matrix.demands:
         if d.src == d.dst:
             demand_hops[(d.src, d.dst)] = 0
+            continue
+        if tables is not None:
+            unit_flows, hops = _table_edge_flows(tables, d.src, d.dst)
+            demand_hops[(d.src, d.dst)] = hops
+            if d.cells_per_slot == 0.0:
+                continue
+            for edge, flow in unit_flows.items():
+                if edge not in link_loads:
+                    raise ConfigurationError(
+                        f"routing tables forward over nonexistent link "
+                        f"{edge[0]!r} -> {edge[1]!r}"
+                    )
+                link_loads[edge] += d.cells_per_slot * flow
             continue
         if d.cells_per_slot == 0.0:
             dist = cache.dist(d.src, d.dst)
@@ -296,7 +518,36 @@ def route(
             f"routed load exceeds link capacity: {', '.join(overloaded)} "
             "(scale the matrix down or raise capacities)"
         )
-    # Per-port load vectors.
+    ingress, egress, active = derive_port_loads(topology, matrix, link_loads)
+    return RoutingResult(
+        topology=topology,
+        matrix=matrix,
+        mode="tables" if tables is not None else mode,
+        link_loads=link_loads,
+        demand_hops=demand_hops,
+        ingress_loads=ingress,
+        egress_loads=egress,
+        active_ports=active,
+    )
+
+
+def derive_port_loads(
+    topology: NetworkTopology,
+    matrix: TrafficMatrix,
+    link_loads: dict[tuple[str, str], float],
+) -> tuple[
+    dict[str, tuple[float, ...]],
+    dict[str, tuple[float, ...]],
+    dict[str, tuple[bool, ...]],
+]:
+    """Per-port (ingress, egress, active) vectors of given link loads.
+
+    The second half of :func:`route`, exposed so callers that computed
+    link loads elsewhere (e.g. the :mod:`repro.control` optimizer
+    projecting a pruned-topology routing back onto the full port map)
+    derive bit-identical per-port vectors.  Validates access-port
+    feasibility exactly like :func:`route`.
+    """
     port_map = topology.port_map()
     ingress: dict[str, list[float]] = {}
     egress: dict[str, list[float]] = {}
@@ -341,18 +592,11 @@ def route(
         )
         for name in topology.node_names
     }
-    return RoutingResult(
-        topology=topology,
-        matrix=matrix,
-        mode=mode,
-        link_loads=link_loads,
-        demand_hops=demand_hops,
-        ingress_loads={
+    return (
+        {
             name: tuple(min(1.0, v) for v in loads)
             for name, loads in ingress.items()
         },
-        egress_loads={
-            name: tuple(loads) for name, loads in egress.items()
-        },
-        active_ports=active,
+        {name: tuple(loads) for name, loads in egress.items()},
+        active,
     )

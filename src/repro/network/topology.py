@@ -14,10 +14,13 @@ Model
   per-router :class:`~repro.api.Scenario` will use.
 * A :class:`Link` is a *directed* traffic-carrying edge between two
   routers with a capacity in cells/slot (1.0 = one port's line rate, so
-  capacity never exceeds 1.0).  Two opposite directed links between the
-  same pair share one physical cable and therefore one bidirectional
-  port on each endpoint — :meth:`NetworkTopology.port_map` performs
-  that pairing deterministically (declaration order).
+  capacity never exceeds 1.0) and an optional physical ``length_m``
+  (the propagation-energy term of :mod:`repro.network.power`).  Two
+  opposite directed links between the same pair share one physical
+  cable and therefore one bidirectional port on each endpoint —
+  :meth:`NetworkTopology.port_map` performs that pairing
+  deterministically (peers in sorted-name order, so the assignment is
+  invariant under link declaration order).
 * Ports not consumed by cables are **access ports**: locally
   originated/terminated traffic (the traffic matrix's row/column for
   the node) enters and leaves the fabric through them.
@@ -86,12 +89,17 @@ class Link:
     """One directed link: traffic flows ``src`` → ``dst``.
 
     ``capacity`` is in cells/slot; 1.0 is one port's line rate, which a
-    single cable cannot exceed.
+    single cable cannot exceed.  ``length_m`` is the physical cable
+    length in metres, consumed by the per-link propagation-energy term
+    of :class:`~repro.network.power.NetworkSpec`; the default 0.0 is
+    omitted from :meth:`to_dict` so existing topology hashes are
+    unchanged.
     """
 
     src: str
     dst: str
     capacity: float = 1.0
+    length_m: float = 0.0
 
     def __post_init__(self) -> None:
         if self.src == self.dst:
@@ -105,9 +113,17 @@ class Link:
                 f"(0, 1] cells/slot (one port's line rate), got "
                 f"{self.capacity!r}"
             )
+        if self.length_m < 0.0:
+            raise ConfigurationError(
+                f"link {self.src!r} -> {self.dst!r}: length_m must be "
+                f">= 0, got {self.length_m!r}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
-        return {"src": self.src, "dst": self.dst, "capacity": self.capacity}
+        out = {"src": self.src, "dst": self.dst, "capacity": self.capacity}
+        if self.length_m:
+            out["length_m"] = self.length_m
+        return out
 
 
 @dataclass(frozen=True)
@@ -218,16 +234,19 @@ class NetworkTopology:
         """Deterministic port assignment of every node.
 
         Cables (unordered node pairs with at least one directed link)
-        claim ports in link declaration order; the remainder are access
-        ports.  Raises if any node's cables exceed its port count.
+        claim ports in sorted peer-name order — the same topology
+        declared with its links in any order maps to identical port
+        assignments.  The remainder are access ports.  Raises if any
+        node's cables exceed its port count.
         """
-        assignment: dict[str, dict[str, int]] = {
-            n.name: {} for n in self.nodes
-        }
+        peers: dict[str, set[str]] = {n.name: set() for n in self.nodes}
         for link in self.links:
-            for a, b in ((link.src, link.dst), (link.dst, link.src)):
-                if b not in assignment[a]:
-                    assignment[a][b] = len(assignment[a])
+            peers[link.src].add(link.dst)
+            peers[link.dst].add(link.src)
+        assignment: dict[str, dict[str, int]] = {
+            name: {peer: i for i, peer in enumerate(sorted(cabled))}
+            for name, cabled in peers.items()
+        }
         out = {}
         for node in self.nodes:
             used = len(assignment[node.name])

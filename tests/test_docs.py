@@ -103,3 +103,11 @@ def test_reproducing_names_live_network_presets():
     text = (REPO_ROOT / "docs" / "REPRODUCING.md").read_text()
     for name in network_names():
         assert name in text, f"docs/REPRODUCING.md does not mention {name!r}"
+
+
+def test_reproducing_names_live_control_presets():
+    from repro.control import control_names
+
+    text = (REPO_ROOT / "docs" / "REPRODUCING.md").read_text()
+    for name in control_names():
+        assert name in text, f"docs/REPRODUCING.md does not mention {name!r}"

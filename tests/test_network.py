@@ -31,6 +31,7 @@ from repro.network import (
     NetworkTopology,
     RouterNode,
     TrafficMatrix,
+    build_tables,
     dumbbell,
     edge_nodes,
     fat_tree,
@@ -265,6 +266,89 @@ class TestRouting:
         with pytest.raises(ConfigurationError, match="line rate"):
             route(topo, TrafficMatrix((Demand("r0", "r0", 2.4),)))
 
+    def test_ecmp_invariant_under_link_permutation(self):
+        # ECMP splits by shortest-path counts, which don't depend on
+        # declaration order — permuting the link tuple must reproduce
+        # the exact same link loads and path lengths.
+        spec = get_network("fat_tree_k4")
+        topo = spec.topology
+        shuffled = topo.replace(links=tuple(reversed(topo.links)))
+        a = route(topo, spec.matrix, "ecmp")
+        b = route(shuffled, spec.matrix, "ecmp")
+        assert a.demand_hops == b.demand_hops
+        assert set(a.link_loads) == set(b.link_loads)
+        for edge, load in a.link_loads.items():
+            assert b.link_loads[edge] == pytest.approx(load)
+        # The aggregate record is therefore permutation-stable too.
+        ra = run_network(spec.replace(base=dict(backend="estimate")))
+        rb = run_network(
+            spec.replace(topology=shuffled, base=dict(backend="estimate"))
+        )
+        assert rb.totals["power_w"] == pytest.approx(ra.totals["power_w"])
+        assert rb.totals["max_link_utilization"] == pytest.approx(
+            ra.totals["max_link_utilization"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Routing tables
+# ----------------------------------------------------------------------
+
+
+class TestRoutingTables:
+    def diamond(self):
+        # Two equal-cost 2-hop paths a -> {m1, m2} -> b.
+        return NetworkTopology(
+            name="diamond",
+            nodes=[RouterNode("a", 3), RouterNode("m1", 2),
+                   RouterNode("m2", 2), RouterNode("b", 3)],
+            links=[Link("a", "m1"), Link("m1", "b"),
+                   Link("a", "m2"), Link("m2", "b")],
+        )
+
+    def test_tables_reproduce_mode_routing(self):
+        topo = self.diamond()
+        tm = TrafficMatrix((Demand("a", "b", 0.8),))
+        for mode in ("shortest", "ecmp"):
+            direct = route(topo, tm, mode)
+            tabled = route(topo, tm, tables=build_tables(topo, mode))
+            assert tabled.mode == "tables"
+            for edge, load in direct.link_loads.items():
+                assert tabled.link_loads[edge] == pytest.approx(load)
+            assert tabled.ingress_loads == direct.ingress_loads
+
+    def test_edited_tables_shift_traffic(self):
+        # An optimizer-style edit: weight the two next hops 1:3.
+        topo = self.diamond()
+        tm = TrafficMatrix((Demand("a", "b", 0.8),))
+        tables = build_tables(topo, "ecmp")
+        tables.set_next_hops("a", "b", [("m1", 1.0), ("m2", 3.0)])
+        result = route(topo, tm, tables=tables)
+        assert result.link_loads[("a", "m1")] == pytest.approx(0.2)
+        assert result.link_loads[("a", "m2")] == pytest.approx(0.6)
+
+    def test_table_loops_and_dead_ends_raise(self):
+        topo = line(3)
+        tm = TrafficMatrix((Demand("r0", "r2", 0.1),))
+        looped = build_tables(topo, "shortest")
+        looped.set_next_hops("r1", "r2", [("r0", 1.0)])
+        with pytest.raises(ConfigurationError, match="loop"):
+            route(topo, tm, tables=looped)
+        dead = build_tables(topo, "shortest")
+        del dead.tables["r1"]["r2"]
+        with pytest.raises(ConfigurationError, match="no next hop"):
+            route(topo, tm, tables=dead)
+
+    def test_set_next_hops_validation(self):
+        tables = build_tables(line(2), "shortest")
+        with pytest.raises(ConfigurationError, match="> 0"):
+            tables.set_next_hops("r0", "r1", [("r1", 0.0)])
+        with pytest.raises(ConfigurationError, match="own next hop"):
+            tables.set_next_hops("r0", "r1", [("r0", 1.0)])
+        with pytest.raises(ConfigurationError, match="at least one"):
+            tables.set_next_hops("r0", "r1", [])
+        assert "r1" in tables.destinations()
+
 
 # ----------------------------------------------------------------------
 # Power aggregation
@@ -372,6 +456,50 @@ class TestNetworkPower:
         )
         # line(3): 2 cables -> 4 cable ports at 0.01 W.
         assert cable_ports == pytest.approx(0.04)
+
+    def test_propagation_power_scales_with_length_and_load(self):
+        # One 1 km cable at load 0.4: each direction burns
+        # load x line rate x J/bit/m x length = 0.4 * 100e6 * 1e-12 * 1000.
+        topo = NetworkTopology(
+            name="pair",
+            nodes=[RouterNode("a", 2), RouterNode("b", 2)],
+            links=[Link("a", "b", length_m=1000.0),
+                   Link("b", "a", length_m=1000.0)],
+        )
+        spec = NetworkSpec(
+            name="prop",
+            topology=topo,
+            matrix=TrafficMatrix((Demand("a", "b", 0.4),)),
+            base=dict(backend="estimate"),
+            propagation_j_per_bit_m=1e-12,
+        )
+        record = run_network(spec)
+        forward = next(
+            r for r in record.links if (r["src"], r["dst"]) == ("a", "b")
+        )
+        reverse = next(
+            r for r in record.links if (r["src"], r["dst"]) == ("b", "a")
+        )
+        assert forward["propagation_power_w"] == pytest.approx(0.04)
+        assert reverse["propagation_power_w"] == 0.0  # no reverse load
+        assert record.totals["propagation_power_w"] == pytest.approx(0.04)
+        assert record.totals["power_w"] == pytest.approx(
+            record.totals["fabric_power_w"]
+            + record.totals["port_power_w"]
+            + 0.04
+        )
+
+    def test_propagation_default_keeps_hashes_and_totals(self):
+        # The 0.0 default is omitted from dicts, so pre-existing spec
+        # hashes and records are untouched by the new field.
+        spec = small_spec()
+        explicit = small_spec(propagation_j_per_bit_m=0.0)
+        assert "propagation_j_per_bit_m" not in spec.to_dict()
+        assert explicit.content_hash() == spec.content_hash()
+        record = run_network(spec.replace(base=dict(backend="estimate")))
+        assert record.totals["propagation_power_w"] == 0.0
+        with pytest.raises(ConfigurationError, match="propagation"):
+            small_spec(propagation_j_per_bit_m=-1e-12)
 
     def test_estimate_backend_uses_scalar_mean(self):
         spec = small_spec(base=dict(backend="estimate"))
