@@ -1,0 +1,242 @@
+"""Fused multi-scenario engine benchmark: stack vs per-scenario runs.
+
+Two sections:
+
+1. **Stack** — the acceptance stack: 16 scenarios on the 32-port
+   banyan with VOQ ingress and 4-iteration iSLIP (loads 0.30/0.40/
+   0.50/0.60 x seeds 11/22/33/44, RNG stream v2), run once per
+   scenario through :class:`~repro.sim.vector_engine.VectorizedEngine`
+   and once as a single :class:`~repro.sim.fused_engine.
+   FusedVectorizedEngine` stack.  Exit status gates on
+   ``identical_results`` (bit-for-bit, all 16 scenarios) and
+   ``fused_speedup >= 1.0``.
+2. **fig9 campaign** — cold wall-clock of the full fig9 grid under
+   ``strategy="vectorized"``, ``"auto"``, and ``"fused"`` with
+   byte-identical exports.  fig9 is FIFO-queued, so the measured
+   honest outcome is that forced fusion *loses* (the solo engine is
+   event-bound; FIFO has no per-slot fixed cost worth amortising) and
+   ``auto`` declines to fuse — this section documents why the auto
+   gate exists and is not part of the exit status.
+
+Run as a script (what CI does) to write the machine-readable artifact::
+
+    PYTHONPATH=src python benchmarks/bench_fused.py --output BENCH_fused.json
+
+or through pytest alongside the other benches::
+
+    pytest benchmarks/bench_fused.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.campaigns import get_campaign, run_campaign
+from repro.api.model import PowerModel
+from repro.router.traffic import BernoulliUniformTraffic
+from repro.sim.fused_engine import FusedVectorizedEngine
+from repro.sim.runner import build_router
+from repro.sim.vector_engine import VectorizedEngine
+
+ARCH = "banyan"
+PORTS = 32
+QUEUEING = "voq"
+ISLIP_ITERATIONS = 4
+RNG_STREAM = 2
+LOADS = (0.30, 0.40, 0.50, 0.60)
+SEEDS = (11, 22, 33, 44)
+SCENARIOS = [(load, seed) for load in LOADS for seed in SEEDS]
+
+
+def _make_router(load: float):
+    traffic = BernoulliUniformTraffic(PORTS, load=load)
+    traffic.use_rng_stream(RNG_STREAM)
+    return build_router(
+        ARCH,
+        PORTS,
+        load=load,
+        traffic=traffic,
+        queueing=QUEUEING,
+        islip_iterations=ISLIP_ITERATIONS,
+    )
+
+
+def run_stack(slots: int, warmup: int, repeats: int) -> dict:
+    """The 16-scenario stack, solo and fused; best-of-``repeats``."""
+    best_solo = best_fused = None
+    solo_results = fused_results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        solo = [
+            VectorizedEngine(_make_router(load), seed=seed).run(
+                slots, warmup_slots=warmup
+            )
+            for load, seed in SCENARIOS
+        ]
+        seconds = time.perf_counter() - start
+        if best_solo is None or seconds < best_solo:
+            best_solo, solo_results = seconds, solo
+
+        routers = [_make_router(load) for load, _ in SCENARIOS]
+        start = time.perf_counter()
+        fused = FusedVectorizedEngine(
+            routers, [seed for _, seed in SCENARIOS]
+        ).run(slots, warmup_slots=warmup)
+        seconds = time.perf_counter() - start
+        if best_fused is None or seconds < best_fused:
+            best_fused, fused_results = seconds, fused
+
+    total_slots = len(SCENARIOS) * (slots + warmup)
+    return {
+        "scenarios": len(SCENARIOS),
+        "architecture": ARCH,
+        "ports": PORTS,
+        "queueing": QUEUEING,
+        "islip_iterations": ISLIP_ITERATIONS,
+        "rng_stream": RNG_STREAM,
+        "loads": list(LOADS),
+        "seeds": list(SEEDS),
+        "arrival_slots": slots,
+        "warmup_slots": warmup,
+        "repeats": repeats,
+        "per_scenario": {
+            "seconds": round(best_solo, 4),
+            "slots_per_sec": round(total_slots / best_solo, 1),
+        },
+        "fused": {
+            "seconds": round(best_fused, 4),
+            "slots_per_sec": round(total_slots / best_fused, 1),
+        },
+        "fused_speedup": round(best_solo / best_fused, 3),
+        "identical_results": all(
+            a == b for a, b in zip(solo_results, fused_results)
+        ),
+    }
+
+
+def run_fig9(slots: int | None, warmup: int | None) -> dict:
+    """Cold fig9 wall-clock per strategy, with byte-identical exports.
+
+    Each strategy gets a fresh :class:`PowerModel` session (cold model
+    caches, no record store) so the comparison is end to end.
+    """
+    campaign = get_campaign("fig9")
+    if slots is not None:
+        base = campaign.base_dict
+        base["arrival_slots"] = slots
+        if warmup is not None:
+            base["warmup_slots"] = warmup
+        campaign = campaign.replace(base=base)
+    timings = {}
+    exports = {}
+    for strategy in ("vectorized", "auto", "fused"):
+        start = time.perf_counter()
+        record = run_campaign(
+            campaign, session=PowerModel(), strategy=strategy
+        )
+        timings[strategy] = round(time.perf_counter() - start, 4)
+        exports[strategy] = record.to_json()
+    return {
+        "points": campaign.size(),
+        "arrival_slots": campaign.base_dict["arrival_slots"],
+        "cold_seconds": timings,
+        "auto_speedup": round(timings["vectorized"] / timings["auto"], 3),
+        "forced_fused_speedup": round(
+            timings["vectorized"] / timings["fused"], 3
+        ),
+        "exports_byte_identical": (
+            exports["vectorized"] == exports["auto"] == exports["fused"]
+        ),
+    }
+
+
+def run_benchmark(
+    slots: int = 1200,
+    warmup: int = 200,
+    repeats: int = 2,
+    fig9_slots: int | None = None,
+    fig9_warmup: int | None = None,
+) -> dict:
+    report = {
+        "benchmark": "fused",
+        "python": platform.python_version(),
+        "stack": run_stack(slots, warmup, repeats),
+        "campaign_fig9": run_fig9(fig9_slots, fig9_warmup),
+    }
+    report["fused_speedup"] = report["stack"]["fused_speedup"]
+    report["identical_results"] = (
+        report["stack"]["identical_results"]
+        and report["campaign_fig9"]["exports_byte_identical"]
+    )
+    return report
+
+
+def test_fused_stack_speedup_and_equivalence():
+    """Pytest entry: bit-identical stack, fused never slower (CI gate)."""
+    report = run_benchmark(
+        slots=400, warmup=80, repeats=2, fig9_slots=60, fig9_warmup=12
+    )
+    print()
+    print(json.dumps(report, indent=2))
+    assert report["identical_results"], (
+        "fused stack diverged from per-scenario results"
+    )
+    assert report["fused_speedup"] >= 1.0, (
+        f"fused stack is only {report['fused_speedup']}x the per-scenario "
+        "engine (needs >= 1.0)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default="BENCH_fused.json", help="report path"
+    )
+    parser.add_argument("--slots", type=int, default=1200)
+    parser.add_argument("--warmup", type=int, default=200)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--fig9-slots",
+        type=int,
+        default=None,
+        help="override fig9 arrival_slots (CI smoke uses a short grid; "
+        "default runs the full preset)",
+    )
+    parser.add_argument("--fig9-warmup", type=int, default=None)
+    args = parser.parse_args(argv)
+    report = run_benchmark(
+        slots=args.slots,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        fig9_slots=args.fig9_slots,
+        fig9_warmup=args.fig9_warmup,
+    )
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    stack = report["stack"]
+    print(
+        f"{ARCH} {PORTS}x{PORTS} voq/K={ISLIP_ITERATIONS} stack of "
+        f"{stack['scenarios']}: per-scenario "
+        f"{stack['per_scenario']['slots_per_sec']:.0f} slots/s, fused "
+        f"{stack['fused']['slots_per_sec']:.0f} slots/s "
+        f"({report['fused_speedup']}x), identical="
+        f"{report['identical_results']} -> {args.output}"
+    )
+    fig9 = report["campaign_fig9"]
+    print(
+        f"fig9 cold ({fig9['points']} points): vectorized "
+        f"{fig9['cold_seconds']['vectorized']}s, auto "
+        f"{fig9['cold_seconds']['auto']}s, forced-fused "
+        f"{fig9['cold_seconds']['fused']}s, exports identical="
+        f"{fig9['exports_byte_identical']}"
+    )
+    ok = report["identical_results"] and report["fused_speedup"] >= 1.0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -278,6 +278,7 @@ def _run_network(
     executor: str,
     store: RunRecordStore | None,
     figures: DerivedRecordStore | None,
+    strategy: str = "auto",
 ) -> ComparisonRecord:
     from repro.network.power import NetworkPowerModel
 
@@ -293,6 +294,7 @@ def _run_network(
             executor=executor,
             store=store,
             figures=figures,
+            strategy=strategy,
         )
         records.append(record)
         for row in record.nodes:
@@ -342,9 +344,14 @@ def _run_grid(
     workers: int | None,
     executor: str,
     store: RunRecordStore | None,
+    strategy: str = "auto",
 ) -> ComparisonRecord:
     records = session.run_batch(
-        campaign.scenarios(), workers=workers, executor=executor, store=store
+        campaign.scenarios(),
+        workers=workers,
+        executor=executor,
+        store=store,
+        strategy=strategy,
     )
     return ComparisonRecord(
         campaign=campaign,
@@ -431,6 +438,7 @@ def run_campaign(
     executor: str = "thread",
     store: RunRecordStore | None = None,
     figures: DerivedRecordStore | None = None,
+    strategy: str = "auto",
 ) -> ComparisonRecord:
     """Execute a campaign (or preset name) into a comparison record.
 
@@ -461,6 +469,14 @@ def run_campaign(
         Network campaigns additionally cache every per-scale
         :class:`~repro.network.power.NetworkRecord` keyed by its spec's
         topology+matrix content hash.
+    strategy:
+        Scenario execution strategy for grid and network campaigns
+        (see :meth:`~repro.api.PowerModel.run_batch`): ``"auto"`` (the
+        default) fuses same-shaped scenario groups into one
+        multi-scenario slot loop, ``"vectorized"`` forces per-scenario
+        runs, ``"fused"`` stacks every stackable scenario.  Results
+        and cache behaviour are bit-identical either way; table kinds
+        ignore it and control campaigns inherit the batch default.
     """
     if isinstance(campaign, str):
         from repro.campaigns.presets import get_campaign
@@ -477,7 +493,7 @@ def run_campaign(
         record = _run_table2(campaign)
     elif campaign.kind == "network":
         record = _run_network(
-            campaign, session, workers, executor, store, figures
+            campaign, session, workers, executor, store, figures, strategy
         )
     elif campaign.kind == "control":
         record = _run_control(
@@ -486,7 +502,9 @@ def run_campaign(
     else:
         if session is None:
             session = default_session()
-        record = _run_grid(campaign, session, workers, executor, store)
+        record = _run_grid(
+            campaign, session, workers, executor, store, strategy
+        )
     if figures is not None:
         figures.put(figure_key, "comparison", record.to_dict())
     return record

@@ -165,6 +165,16 @@ def build_parser() -> argparse.ArgumentParser:
         "results appended",
     )
     batch.add_argument(
+        "--strategy",
+        choices=("auto", "fused", "vectorized"),
+        default="auto",
+        help="scenario execution strategy: 'auto' fuses groups of "
+        "scenarios that share fabric/ports/queueing/stream into one "
+        "multi-scenario slot loop, 'vectorized' forces per-scenario "
+        "runs, 'fused' stacks even singletons.  Results are "
+        "bit-identical either way",
+    )
+    batch.add_argument(
         "--rng-stream",
         type=int,
         choices=(1, 2),
@@ -223,6 +233,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="JSONL derived-figure cache keyed by campaign content "
             "hash; a warm figure cache serves the whole record without "
             "running (or even constructing) a session",
+        )
+        p.add_argument(
+            "--strategy",
+            choices=("auto", "fused", "vectorized"),
+            default="auto",
+            help="scenario execution strategy for grid/network "
+            "campaigns (bit-identical results; 'auto' fuses "
+            "same-shaped scenario groups into one slot loop)",
         )
 
     run_p = campaign_sub.add_parser(
@@ -313,6 +331,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="JSONL derived-figure cache keyed by the spec's "
             "topology+matrix content hash; a warm figure cache serves "
             "the whole NetworkRecord without a session",
+        )
+        p.add_argument(
+            "--strategy",
+            choices=("auto", "fused", "vectorized"),
+            default="auto",
+            help="execution strategy for the per-router scenario batch "
+            "(bit-identical results; 'auto' fuses same-shaped router "
+            "groups into one slot loop)",
         )
 
     net_run = network_sub.add_parser(
@@ -577,6 +603,7 @@ def cmd_batch(args) -> int:
         workers=args.workers,
         executor=args.executor,
         store=store,
+        strategy=args.strategy,
     )
     if store is not None:
         stats = store.stats()
@@ -632,6 +659,7 @@ def _campaign_store(args, campaign):
                 ("--cache", args.cache),
                 ("--workers", args.workers > 1),
                 ("--executor", args.executor != "thread"),
+                ("--strategy", args.strategy != "auto"),
             )
             if given
         ]
@@ -713,6 +741,7 @@ def cmd_campaign(args) -> int:
             executor=args.executor,
             store=store,
             figures=figures,
+            strategy=args.strategy,
         )
         _campaign_cache_stats(args, store)
         _figure_store_stats(args, figures)
@@ -737,6 +766,7 @@ def cmd_campaign(args) -> int:
         executor=args.executor,
         store=store,
         figures=figures,
+        strategy=args.strategy,
     )
     _campaign_cache_stats(args, store)
     _figure_store_stats(args, figures)
@@ -874,6 +904,7 @@ def cmd_network(args) -> int:
         executor=args.executor,
         store=store,
         figures=figures,
+        strategy=args.strategy,
     )
     _campaign_cache_stats(args, store)
     _figure_store_stats(args, figures)

@@ -1,0 +1,506 @@
+"""Fused banyan kernel: one numpy stage advance for a scenario stack.
+
+The fused engine (:mod:`repro.sim.fused_engine`) runs many
+near-identical scenarios through one slot loop.  For the buffered
+banyan — much the hottest core, because every slot walks log2(N) stages
+of per-switch contention logic — this module replaces the per-scenario
+Python stage walk with a 3-D kernel over ``(scenario, stage, line)``
+arrays: candidate selection, output-line claims, contention and
+blocking are computed for the whole stack at once, and only the
+switches where something actually happens fall back to a short Python
+loop that charges energy in the reference order.
+
+Bit-exactness contract (same as :mod:`repro.fabrics.vectorized`, and
+enforced by ``tests/test_fused_engine.py``): per scenario, every
+ledger dict sees the same component keys inserted in the same order
+with the same float-add sequence as the solo vectorized core, which is
+itself pinned to the reference fabrics.  Three orderings make it hold:
+
+* stages are walked highest-first and, within a stage, event switches
+  are applied scenario-major in ascending switch order — ``np.nonzero``
+  row-major order — so each scenario's event sequence is exactly the
+  reference ``k`` loop;
+* within a switch, winners are emitted in claim order (buffer head,
+  then latches by entry slot), then the switch LUT energy, then parked
+  losers — statement for statement the reference switch body;
+* wire transfers are only *recorded* here; the engine pops the whole
+  stack's records with one shared popcount via
+  :func:`~repro.fabrics.vectorized.flush_core_stack`, and each core's
+  deferred flush replays its per-transfer float adds in order.
+
+The stack reuses the per-scenario :class:`BanyanCore` instances as the
+holders of all precomputed tables, ledger dicts, pend lists, and the
+real per-switch buffer deques; their Python ``_latch`` lists and
+``advance`` are simply never used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.fabrics.vectorized import BanyanCore
+
+
+class FusedCoreView:
+    """Per-scenario core façade over a :class:`FusedBanyanStack`.
+
+    Swapped in as a :class:`~repro.sim.vector_engine.VectorizedEngine`'s
+    ``_core`` so its arbitration, drain test, and result collection read
+    fabric state from the stack's arrays; the stack itself advances the
+    fabric for every scenario at once.
+    """
+
+    __slots__ = ("_stack", "_index")
+
+    def __init__(self, stack: "FusedBanyanStack", index: int) -> None:
+        self._stack = stack
+        self._index = index
+
+    def can_admit(self, port: int) -> bool:
+        return self._stack._lat[self._index, 0, port] < 0
+
+    def in_flight(self) -> int:
+        return self._stack._in_flight[self._index]
+
+
+class FusedBanyanStack:
+    """Advance a stack of same-geometry banyan scenarios together.
+
+    All cores must share one cell store (the engine builds a
+    :class:`~repro.sim.cellstore.StackedCellStore`, whose ``dest`` /
+    ``entered_slot`` are numpy arrays this kernel fancy-indexes) and one
+    structural configuration — ports, buffer capacity, refresh
+    behaviour.  Energy *values* may differ per scenario (wire modes,
+    technology spreads inside a group are still looked up through each
+    core's own tables).
+    """
+
+    def __init__(self, cores: list[BanyanCore]) -> None:
+        if not cores:
+            raise ConfigurationError("fused banyan stack needs >= 1 core")
+        first = cores[0]
+        store = first.store
+        n = first.ports
+        m = first.stages
+        for core in cores:
+            if core.store is not store:
+                raise ConfigurationError(
+                    "fused banyan stack cores must share one cell store"
+                )
+            if (
+                core.ports != n
+                or core.stages != m
+                or core._cap != first._cap
+                or core._refresh_enabled != first._refresh_enabled
+            ):
+                raise ConfigurationError(
+                    "fused banyan stack cores must share geometry, buffer "
+                    "capacity, and refresh configuration"
+                )
+            core.defer_flush()
+        self.cores = cores
+        self.store = store
+        self.ports = n
+        self.stages = m
+        s_count = len(cores)
+        half = n // 2
+        #: latch occupancy: cell id per (scenario, stage, line), -1 empty.
+        self._lat = np.full((s_count, m, n), -1, dtype=np.int64)
+        #: buffer-head mirrors per (scenario, stage, switch): head cell
+        #: id (-1 empty), its input index, and the queue length.  The
+        #: real queues stay each core's ``_buf`` deques.
+        self._bh_id = np.full((s_count, m, half), -1, dtype=np.int64)
+        self._bh_ii = np.zeros((s_count, m, half), dtype=np.int64)
+        self._blen = np.zeros((s_count, m, half), dtype=np.int64)
+        self._in_flight = [0] * s_count
+        #: cells latched or buffered per stage across the whole stack;
+        #: an empty stage short-circuits to one int test (this is what
+        #: makes drain-tail slots nearly free).
+        self._occ = [0] * m
+        # Structural tables are functions of the port count only, so the
+        # first core's copies serve the whole stack.
+        self._bits = first._bits
+        self._lines = first._lines
+        self._line_arrays = [
+            np.array(tab, dtype=np.int64) for tab in first._lines
+        ]
+        # Interleaved line numbers per stage ([l0, l1, l0, l1, ...]) so
+        # both latch banks gather in one fancy index.
+        self._line_flat = [a.reshape(-1) for a in self._line_arrays]
+        self._v01 = np.array([[0], [1]], dtype=np.int64)
+        self._cap = first._cap
+        self._mask: np.ndarray | None = None
+
+    def views(self) -> list[FusedCoreView]:
+        return [FusedCoreView(self, i) for i in range(len(self.cores))]
+
+    # ------------------------------------------------------------------
+    # Slot advance
+    # ------------------------------------------------------------------
+
+    def advance_all(
+        self,
+        grants_list: list[list[tuple[int, int]]],
+        slot: int,
+        active: list[int],
+    ) -> list[list[int]]:
+        """One slot for every scenario; returns per-scenario deliveries.
+
+        ``grants_list[s]`` holds scenario ``s``'s granted ``(port,
+        cell_id)`` pairs; ``active`` are the scenario indices still
+        running (drained scenarios hold no cells, so skipping their
+        grants is the only special-casing needed).  Leaves each core's
+        wire records and slot counters pending for the engine's shared
+        :func:`~repro.fabrics.vectorized.flush_core_stack`.
+        """
+        cores = self.cores
+        s_count = len(cores)
+        if len(active) == s_count:
+            self._mask = None
+        else:
+            # Scenarios dropped from the drain loop while still holding
+            # cells (max_drain_slots exhausted) must freeze exactly as a
+            # solo run would; the mask blanks their candidates/refresh.
+            mask = np.zeros(s_count, dtype=bool)
+            mask[active] = True
+            self._mask = mask
+        delivered: list[list[int]] = [[] for _ in range(s_count)]
+        counts = [[0, 0, 0, 0, 0, 0] for _ in range(s_count)]
+        occ = self._occ
+        for stage in range(self.stages - 1, -1, -1):
+            if occ[stage]:
+                self._advance_stage_all(stage, delivered, counts)
+        for s in active:
+            grants = grants_list[s]
+            if grants:
+                self._admit(s, grants, slot)
+        self._refresh()
+        for s in range(s_count):
+            core = cores[s]
+            core._pending_counts = counts[s]
+            core._pending_delivered = len(delivered[s])
+        return delivered
+
+    def _advance_stage_all(
+        self,
+        stage: int,
+        delivered: list[list[int]],
+        counts: list[list[int]],
+    ) -> None:
+        store = self.store
+        dest = store.dest
+        entered = store.entered_slot
+        lat_s = self._lat[:, stage, :]
+        L = self._line_arrays[stage]
+        lines_tab = self._lines[stage]
+        bh2 = self._bh_id[:, stage, :]
+        bhii2 = self._bh_ii[:, stage, :]
+        blen2 = self._blen[:, stage, :]
+        last = stage == self.stages - 1
+        lat_next = None if last else self._lat[:, stage + 1, :]
+        # Find the event switches first (any buffered or latched cell),
+        # then run all candidate/claim logic on compact 1-D arrays —
+        # the stack is mostly empty switches, and full-grid numpy ops
+        # would pay their dispatch cost on every one of them.
+        g = lat_s[:, self._line_flat[stage]]
+        ids0f = g[:, 0::2]
+        ids1f = g[:, 1::2]
+        ev = (blen2 > 0) | (ids0f >= 0) | (ids1f >= 0)
+        mask = self._mask
+        if mask is not None:
+            ev &= mask[:, None]
+        s_i, k_i = np.nonzero(ev)
+        if not s_i.size:
+            return
+        idx = (s_i, k_i)
+        bh = bh2[idx]
+        bhii = bhii2[idx]
+        ids0 = ids0f[idx]
+        ids1 = ids1f[idx]
+        pb = bh >= 0
+        p0 = ids0 >= 0
+        p1 = ids1 >= 0
+        # Candidate order: buffer head first, then latch cells by
+        # (fabric entry slot, input index).
+        e0 = entered[ids0]
+        e1 = entered[ids1]
+        a_first = p0 & (~p1 | (e0 <= e1))
+        pA = p0 | p1
+        pB = p0 & p1
+        id_A = np.where(a_first, ids0, ids1)
+        ii_A = np.where(a_first, 0, 1)
+        id_B = np.where(a_first, ids1, ids0)
+        ii_B = 1 - ii_A
+        bit = self._bits[stage]
+        # One gather covers all three candidates' output bits.
+        obits = (dest[np.concatenate((bh, id_A, id_B))] >> bit) & 1
+        E = s_i.size
+        ob = obits[:E]
+        oA = obits[E : 2 * E]
+        oB = obits[2 * E :]
+        # Claim-time contention losers (claim order: buffer, A, B).
+        lA = pA & pb & (oA == ob)
+        lB = pB & ((pb & (oB == ob)) | (pA & (oB == oA)))
+        # Per output bit (broadcast over the leading length-2 axis, row
+        # ``v`` = output line ``v``): first claimer wins; the winner is
+        # blocked when the next stage's latch on its line is still
+        # occupied (checked against the pre-advance snapshot — stages
+        # advance highest first, and a stage's switches write disjoint
+        # next-stage line pairs, so the snapshot is exact).
+        V = self._v01
+        b_buf = pb & (ob == V)
+        b_A = pA & (oA == V)
+        b_B = pB & (oB == V)
+        w_A = b_A & ~b_buf
+        exists = b_buf | b_A | b_B
+        src = np.where(b_buf, 0, np.where(w_A, 1, 2))
+        wid = np.where(b_buf, bh, np.where(w_A, id_A, id_B))
+        wii = np.where(b_buf, bhii, np.where(w_A, ii_A, ii_B))
+        lines_v = L[k_i].T  # (2, E): row v = each event's output line v
+        if last:
+            blocked = np.zeros(exists.shape, dtype=bool)
+            moved = exists
+        else:
+            blocked = exists & (lat_next[s_i, lines_v] >= 0)
+            moved = exists & ~blocked
+        # Batched latch updates: clear moved latch-origin winners, set
+        # next-stage latches.  (Parked losers clear theirs in the apply
+        # loop below; the lines involved never overlap.)
+        s_i2 = np.broadcast_to(s_i, (2, E))
+        k_i2 = np.broadcast_to(k_i, (2, E))
+        mlat = moved & (src > 0)
+        if mlat.any():
+            lat_s[s_i2[mlat], L[k_i2[mlat], wii[mlat]]] = -1
+        if not last and moved.any():
+            lat_next[s_i2[moved], lines_v[moved]] = wid[moved]
+        # Apply loop: one iteration per event switch, scenario-major in
+        # ascending switch order (np.nonzero row-major = the reference
+        # per-scenario order).  Mutations of the numpy mirrors are
+        # collected and written back in one batch per kind.
+        # Single-candidate unblocked switches (the vast majority) take a
+        # short branch in the loop: one winner, no contention, no
+        # buffer interaction.
+        simple = (pA & ~pb & ~pB & ~(blocked[0] | blocked[1])).tolist()
+        sl = s_i.tolist()
+        kl = k_i.tolist()
+        lA_l = lA.tolist()
+        lB_l = lB.tolist()
+        idA_l = id_A.tolist()
+        idB_l = id_B.tolist()
+        iiA_l = ii_A.tolist()
+        iiB_l = ii_B.tolist()
+        ex0, ex1 = exists.tolist()
+        src0, src1 = src.tolist()
+        wid0, wid1 = wid.tolist()
+        wii0, wii1 = wii.tolist()
+        blk0, blk1 = blocked.tolist()
+        link_base = self.ports + stage * self.ports
+        cores = self.cores
+        d_stage = 0
+        d_next = 0
+        cap = self._cap
+        cur_s = -1
+        # Batched write-back collectors: cleared parked latches and
+        # final buffer-head mirror states (one entry per touched
+        # switch — event switches are unique, so no duplicate indices).
+        pk_s: list[int] = []
+        pk_line: list[int] = []
+        mb_s: list[int] = []
+        mb_k: list[int] = []
+        mb_id: list[int] = []
+        mb_ii: list[int] = []
+        mb_len: list[int] = []
+        for j in range(len(sl)):
+            s = sl[j]
+            if s != cur_s:
+                cur_s = s
+                core = cores[s]
+                pend_link = core._pend_link
+                pend_cell = core._pend_cell
+                pend_grids = core._pend_grids
+                pend_comp = core._pend_comp
+                grids_pair = core._stage_grids[stage]
+                wcomp = core._wire_comp[stage]
+                swcomp = core._sw_comp[stage]
+                sw_e = core._sw_e
+                sw_dict = core._switch_dict
+                buf_dict = core._buffer_dict
+                read_e = core._read_e
+                write_e = core._write_e
+                bufs = core._buf[stage]
+                cnt = counts[s]
+                dlv = delivered[s]
+            k = kl[j]
+            lines_k = lines_tab[k]
+            if simple[j]:
+                if ex0[j]:
+                    v, cid, ii = 0, wid0[j], wii0[j]
+                else:
+                    v, cid, ii = 1, wid1[j], wii1[j]
+                out_line = lines_k[v]
+                pend_link.append(link_base + out_line)
+                pend_cell.append(cid)
+                pend_grids.append(grids_pair[1 if ii != v else 0])
+                pend_comp.append(wcomp[out_line])
+                if last:
+                    dlv.append(cid)
+                    self._in_flight[s] -= 1
+                else:
+                    d_next += 1
+                d_stage -= 1
+                energy = sw_e[(1, 0) if ii == 0 else (0, 1)]
+                if energy:
+                    sw_dict[swcomp[k]] += energy
+                cnt[5] += 1
+                continue
+            cnt[0] += lA_l[j] + lB_l[j]
+            cnt[1] += blk0[j] + blk1[j]
+            # Winners in claim order = ascending candidate rank
+            # (buffer=0 < first latch=1 < second latch=2).
+            if ex0[j]:
+                if ex1[j] and src1[j] < src0[j]:
+                    worder = (1, 0)
+                else:
+                    worder = (0, 1) if ex1[j] else (0,)
+            elif ex1[j]:
+                worder = (1,)
+            else:
+                worder = ()
+            parked = []
+            if lA_l[j]:
+                parked.append((iiA_l[j], idA_l[j]))
+            if lB_l[j]:
+                parked.append((iiB_l[j], idB_l[j]))
+            v0 = v1 = 0
+            buf_touched = False
+            for v in worder:
+                if v == 0:
+                    blocked, src, cid, ii = blk0[j], src0[j], wid0[j], wii0[j]
+                else:
+                    blocked, src, cid, ii = blk1[j], src1[j], wid1[j], wii1[j]
+                if blocked:
+                    if src:  # latch-origin blocked winners park below
+                        parked.append((ii, cid))
+                    continue  # a blocked buffer head just stays queued
+                if src == 0:
+                    bufs[k].popleft()
+                    buf_touched = True
+                    if read_e:
+                        buf_dict[swcomp[k]] += read_e
+                    cnt[4] += 1
+                out_line = lines_k[v]
+                pend_link.append(link_base + out_line)
+                pend_cell.append(cid)
+                pend_grids.append(grids_pair[1 if ii != v else 0])
+                pend_comp.append(wcomp[out_line])
+                if last:
+                    dlv.append(cid)
+                    self._in_flight[s] -= 1
+                else:
+                    d_next += 1
+                d_stage -= 1
+                if ii == 0:
+                    v0 = 1
+                else:
+                    v1 = 1
+            if v0 or v1:
+                energy = sw_e[(v0, v1)]
+                if energy:
+                    sw_dict[swcomp[k]] += energy
+                cnt[5] += v0 + v1
+            if parked:
+                buf = bufs[k]
+                for ii, cid in parked:
+                    if len(buf) >= cap:
+                        cnt[2] += 1
+                        continue  # stalls in the latch (backpressure)
+                    pk_s.append(s)
+                    pk_line.append(lines_k[ii])
+                    buf.append((cid, ii))
+                    buf_touched = True
+                    if write_e:
+                        buf_dict[swcomp[k]] += write_e
+                    cnt[3] += 1
+            if buf_touched:
+                buf = bufs[k]
+                if buf:
+                    hid, hii = buf[0]
+                else:
+                    hid, hii = -1, 0
+                mb_s.append(s)
+                mb_k.append(k)
+                mb_id.append(hid)
+                mb_ii.append(hii)
+                mb_len.append(len(buf))
+        if pk_s:
+            lat_s[pk_s, pk_line] = -1
+        if mb_s:
+            bh2[mb_s, mb_k] = mb_id
+            bhii2[mb_s, mb_k] = mb_ii
+            blen2[mb_s, mb_k] = mb_len
+        self._occ[stage] += d_stage
+        if not last:
+            self._occ[stage + 1] += d_next
+
+    def _admit(
+        self, s: int, grants: list[tuple[int, int]], slot: int
+    ) -> None:
+        core = self.cores[s]
+        entered = self.store.entered_slot
+        lat0 = self._lat[s, 0]
+        edge_grids = core._edge_grids
+        ingress = core._ingress_comp
+        pend_link = core._pend_link
+        pend_cell = core._pend_cell
+        pend_grids = core._pend_grids
+        pend_comp = core._pend_comp
+        ports_l: list[int] = []
+        cids_l: list[int] = []
+        occupied = lat0.tolist()
+        for port, cid in sorted(grants):
+            if occupied[port] >= 0:
+                raise SimulationError(
+                    f"admission to occupied latch at port {port}; the engine "
+                    "must respect can_admit()"
+                )
+            pend_link.append(port)
+            pend_cell.append(cid)
+            pend_grids.append(edge_grids)
+            pend_comp.append(ingress[port])
+            ports_l.append(port)
+            cids_l.append(cid)
+        entered[cids_l] = slot
+        lat0[ports_l] = cids_l
+        self._in_flight[s] += len(ports_l)
+        self._occ[0] += len(ports_l)
+
+    def _refresh(self) -> None:
+        if not self.cores[0]._refresh_enabled:
+            return
+        occupied = np.nonzero(self._blen)
+        if not occupied[0].size:
+            return
+        if self._mask is not None:
+            keep = self._mask[occupied[0]]
+            occupied = tuple(a[keep] for a in occupied)
+            if not occupied[0].size:
+                return
+        # np.nonzero is row-major: scenario-major, then stage ascending,
+        # then switch ascending — the reference _refresh_all order.
+        vals = self._blen[occupied].tolist()
+        sl = occupied[0].tolist()
+        stl = occupied[1].tolist()
+        kl = occupied[2].tolist()
+        cur_s = -1
+        for j in range(len(sl)):
+            s = sl[j]
+            if s != cur_s:
+                cur_s = s
+                core = self.cores[s]
+                refresh = core._refresh_dict
+                by_cells = core._refresh_by_cells
+                sw_comp = core._sw_comp
+            energy = by_cells[vals[j]]
+            if energy:
+                refresh[sw_comp[stl[j]][kl[j]]] += energy

@@ -477,12 +477,16 @@ class NetworkPowerModel:
         executor: str = "thread",
         store: "RunRecordStore | None" = None,
         figures: "DerivedRecordStore | None" = None,
+        strategy: str = "auto",
     ) -> NetworkRecord:
         """Execute the spec into a :class:`NetworkRecord`.
 
         Parameters mirror :meth:`repro.api.PowerModel.run_batch`;
         ``figures`` short-circuits the whole run when the spec's
-        content hash is already in the derived-figure store.
+        content hash is already in the derived-figure store.  With the
+        default ``strategy="auto"`` the per-router scenarios of a
+        uniform topology (one fabric type, one port count) fuse into a
+        single multi-scenario slot loop.
         """
         if figures is not None:
             cached = figures.get(spec.content_hash(), "network")
@@ -490,7 +494,12 @@ class NetworkPowerModel:
                 return NetworkRecord.from_dict(cached)
         routing = self.route(spec)
         record = self.run_routed(
-            spec, routing, workers=workers, executor=executor, store=store
+            spec,
+            routing,
+            workers=workers,
+            executor=executor,
+            store=store,
+            strategy=strategy,
         )
         if figures is not None:
             figures.put(spec.content_hash(), "network", record.to_dict())
@@ -503,6 +512,7 @@ class NetworkPowerModel:
         workers: int | None = None,
         executor: str = "thread",
         store: "RunRecordStore | None" = None,
+        strategy: str = "auto",
     ) -> NetworkRecord:
         """Execute the spec under an externally supplied routing.
 
@@ -518,6 +528,7 @@ class NetworkPowerModel:
             workers=workers,
             executor=executor,
             store=store,
+            strategy=strategy,
         )
         by_node = {name: rec for (name, _), rec in zip(pairs, records)}
         return self._aggregate(spec, routing, by_node)

@@ -9,6 +9,14 @@ accounting run on plain int arrays/lists, and the fabric is driven
 through a :class:`~repro.fabrics.vectorized.VectorFabricCore` that
 batches each slot's wire-flip counting into one vectorized popcount.
 
+This is the middle tier of the three-engine stack: the reference
+engine (:mod:`repro.sim.engine`) is the bit-exact oracle, this engine
+is the fast per-scenario path pinned to it, and the fused engine
+(:mod:`repro.sim.fused_engine`) stacks many near-identical scenarios
+into one shared slot loop — reusing this class per scenario (with a
+shared :class:`~repro.sim.cellstore.StackedCellStore`) and staying
+pinned to it bit for bit.
+
 The engine is an exact functional mirror of the reference: for any
 seeded run of a supported router it produces a bit-identical
 :class:`~repro.sim.results.SimulationResult` (energy breakdown,
@@ -75,6 +83,33 @@ def supports_router(router) -> bool:
     return False
 
 
+def _islip_accept(
+    requested: np.ndarray, winner: np.ndarray, accept_keys: np.ndarray
+) -> tuple[list[int], list[int]]:
+    """Batched iSLIP accept phase in reference emission order.
+
+    ``requested`` are the outputs with grants this iteration (ascending),
+    ``winner[i]`` the input granted by ``requested[i]``, and
+    ``accept_keys[i]`` that output's modular distance from the winner's
+    accept pointer.  Each winning input accepts its minimum-key output;
+    winners are emitted by first appearance over the ascending output
+    scan — exactly the dict-insertion order the reference arbiter's
+    per-slot Python loop produced, reconstructed here from two sorts.
+    """
+    uniq, first = np.unique(winner, return_index=True)
+    order = np.lexsort((accept_keys, winner))
+    w_sorted = winner[order]
+    head = np.empty(w_sorted.size, dtype=bool)
+    head[0] = True
+    head[1:] = w_sorted[1:] != w_sorted[:-1]
+    # Group heads after the (winner, key) sort are each winner's
+    # minimum-key output, aligned with ``uniq`` (both winner-ascending);
+    # stable sorts keep the reference's earliest-output tie-break.
+    chosen = requested[order[head]]
+    emit = np.argsort(first, kind="stable")
+    return uniq[emit].tolist(), chosen[emit].tolist()
+
+
 class VectorizedEngine:
     """Array-based slot loop over a :class:`NetworkRouter`.
 
@@ -83,9 +118,17 @@ class VectorizedEngine:
     router: the assembled router (see module docstring for the
         supported configurations).
     seed: seed for the run's random generator (payloads, arrivals).
+    store: optional externally owned cell store; the fused engine
+        passes one :class:`~repro.sim.cellstore.StackedCellStore`
+        shared by every scenario of a stack.  Default: a private store.
     """
 
-    def __init__(self, router: NetworkRouter, seed: int | None = 12345) -> None:
+    def __init__(
+        self,
+        router: NetworkRouter,
+        seed: int | None = 12345,
+        store: CellStore | None = None,
+    ) -> None:
         if not supports_router(router):
             from repro.fabrics.registry import vector_core_summary
 
@@ -106,7 +149,9 @@ class VectorizedEngine:
         self.rng = np.random.default_rng(seed)
         self._slot = 0
         ports = router.ports
-        self.store = CellStore(router.fabric.cell_format)
+        if store is None:
+            store = CellStore(router.fabric.cell_format)
+        self.store = store
         self._core = make_vector_core(router.fabric, self.store)
         self._queue_cap = router.ingress[0].queue_capacity_cells
         self._is_voq = type(router) is VoqNetworkRouter
@@ -378,25 +423,12 @@ class VectorizedEngine:
             # closest clockwise to its accept pointer (group-by-min of
             # each requested output's distance from its winner's ptr).
             accept_keys = dist[requested, self._accept_ptr[winner]]
-            best: dict[int, tuple[int, int]] = {}
-            order: list[int] = []
-            for out, port, key in zip(
-                requested.tolist(), winner.tolist(), accept_keys.tolist()
-            ):
-                current = best.get(port)
-                if current is None:
-                    # Reference insertion order: winners by first
-                    # appearance as the grant loop scans outputs 0..N-1.
-                    best[port] = (key, out)
-                    order.append(port)
-                elif key < current[0]:
-                    best[port] = (key, out)
+            ports_sel, outs_sel = _islip_accept(requested, winner, accept_keys)
             if matched_in is None:
                 matched_in = np.zeros(ports, dtype=bool)
                 matched_out = np.zeros(ports, dtype=bool)
             first_iteration = iteration == 0
-            for port in order:
-                out = best[port][1]
+            for port, out in zip(ports_sel, outs_sel):
                 pairs.append((port, out))
                 matched_in[port] = True
                 matched_out[out] = True

@@ -103,11 +103,16 @@ class TestRunRecordStore:
             return original(s)
 
         session.run = counting
-        first = session.run_batch(scenarios, store=store)
+        # strategy="vectorized" so the monkeypatched ``run`` sees every
+        # execution (fused stacks bypass it); cache behaviour itself is
+        # strategy-independent (see tests/test_fused_engine.py).
+        first = session.run_batch(scenarios, store=store,
+                                  strategy="vectorized")
         assert runs["n"] == len(scenarios)
         # A second campaign over the same points runs nothing.
         store2 = RunRecordStore(path)
-        second = session.run_batch(scenarios, store=store2)
+        second = session.run_batch(scenarios, store=store2,
+                                   strategy="vectorized")
         assert runs["n"] == len(scenarios)
         assert store2.hits == len(scenarios)
         assert [r.detail for r in first] == [r.detail for r in second]
@@ -115,7 +120,8 @@ class TestRunRecordStore:
         extra = scenarios + [
             Scenario("crossbar", 4, 0.9, name="new", **SIM_KWARGS)
         ]
-        third = session.run_batch(extra, store=RunRecordStore(path))
+        third = session.run_batch(extra, store=RunRecordStore(path),
+                                  strategy="vectorized")
         assert runs["n"] == len(scenarios) + 1
         assert [r.name for r in third][-1] == "new"
 

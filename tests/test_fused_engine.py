@@ -1,0 +1,319 @@
+"""Fused multi-scenario engine: exact equivalence with solo runs.
+
+The fused engine's contract is the same as the vectorized engine's
+against the reference oracle, one tier up: for every stackable scenario
+its :class:`~repro.sim.results.SimulationResult` must equal the solo
+:class:`~repro.sim.vector_engine.VectorizedEngine` result **bit for
+bit** — energy components, throughput, latency statistics, counters,
+drain length.  These tests compare whole result objects with ``==``
+(exact float comparison) across the fabric/queueing/traffic matrix,
+and verify the batch-API surface: grouping (:func:`stack_key`),
+fallback for unstackable scenarios, shared-cache behaviour, and
+byte-identical campaign exports.
+
+Any relaxation of this contract (tolerances, skipped fields) would let
+silent divergence into every campaign run, so don't.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import PowerModel, Scenario
+from repro.api.store import RunRecordStore
+from repro.campaigns import Campaign, run_campaign
+from repro.errors import ConfigurationError
+from repro.sim.fused_engine import FusedVectorizedEngine, stack_key
+
+#: Cheap shared measurement window (also what stack_key pins).
+RUN = {"arrival_slots": 110, "warmup_slots": 20}
+
+
+def assert_details_identical(vec_records, fused_records):
+    """Field-by-field exact equality with readable failures."""
+    assert len(vec_records) == len(fused_records)
+    for i, (a, b) in enumerate(zip(vec_records, fused_records)):
+        ra, rb = a.detail, b.detail
+        if ra == rb:
+            continue
+        diffs = [
+            f"{f.name}: solo={getattr(ra, f.name)!r} "
+            f"fused={getattr(rb, f.name)!r}"
+            for f in dataclasses.fields(type(ra))
+            if getattr(ra, f.name) != getattr(rb, f.name)
+        ]
+        raise AssertionError(
+            f"scenario {i} ({a.scenario.label}) diverged:\n  "
+            + "\n  ".join(diffs)
+        )
+
+
+def run_both(scenarios, session=None):
+    session = session or PowerModel()
+    vec = session.run_batch(scenarios, strategy="vectorized")
+    fused = session.run_batch(scenarios, strategy="fused")
+    assert_details_identical(vec, fused)
+    return vec, fused
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize(
+        "arch", ["crossbar", "fully_connected", "banyan", "batcher_banyan"]
+    )
+    def test_fifo_fabrics_heterogeneous_loads_and_seeds(self, arch):
+        scenarios = [
+            Scenario(arch, 8, load, seed=seed, **RUN)
+            for load, seed in [(0.2, 5), (0.8, 9), (0.5, 3), (0.8, 11)]
+        ]
+        run_both(scenarios)
+
+    @pytest.mark.parametrize("iterations", [1, 2, 4])
+    def test_voq_islip_depths(self, iterations):
+        scenarios = [
+            Scenario(
+                "banyan",
+                8,
+                load,
+                queueing="voq",
+                islip_iterations=iterations,
+                seed=seed,
+                **RUN,
+            )
+            for load, seed in [(0.3, 1), (0.9, 2), (0.6, 3)]
+        ]
+        run_both(scenarios)
+
+    @pytest.mark.parametrize("stream", [1, 2])
+    def test_rng_streams(self, stream):
+        scenarios = [
+            Scenario("banyan", 8, load, rng_stream=stream, seed=seed, **RUN)
+            for load, seed in [(0.25, 7), (0.75, 8)]
+        ]
+        run_both(scenarios)
+
+    def test_wire_modes_vary_within_stack(self):
+        scenarios = [
+            Scenario("crossbar", 8, 0.5, wire_mode=mode, seed=2, **RUN)
+            for mode in ("worst_case", "expected", "per_link")
+        ]
+        assert len({stack_key(s) for s in scenarios}) == 1
+        run_both(scenarios)
+
+    def test_traffic_kinds_vary_within_stack(self):
+        scenarios = [
+            Scenario("banyan", 8, 0.5, seed=4, **RUN),
+            Scenario(
+                "banyan",
+                8,
+                0.5,
+                traffic="hotspot",
+                traffic_params={"hotspot_fraction": 0.4},
+                seed=4,
+                **RUN,
+            ),
+            Scenario(
+                "banyan",
+                8,
+                0.5,
+                traffic="bursty",
+                traffic_params={"burst_len": 3.0},
+                seed=4,
+                **RUN,
+            ),
+        ]
+        assert len({stack_key(s) for s in scenarios}) == 1
+        run_both(scenarios)
+
+    def test_bounded_ingress_queue(self):
+        scenarios = [
+            Scenario(
+                "banyan", 8, load, ingress_queue_cells=4, seed=seed, **RUN
+            )
+            for load, seed in [(0.6, 1), (0.95, 2)]
+        ]
+        run_both(scenarios)
+
+    def test_per_port_load_tuples(self):
+        scenarios = [
+            Scenario("crossbar", 4, (0.1, 0.9, 0.4, 0.6), seed=1, **RUN),
+            Scenario("crossbar", 4, 0.5, seed=2, **RUN),
+        ]
+        run_both(scenarios)
+
+    def test_drain_tail_fast_forward(self):
+        # Loads 0.05 and 0.9 drain at wildly different speeds; the
+        # fused drain loop fast-forwards the empty scenario and must
+        # still report per-scenario drain lengths (inside ``slots``)
+        # and latency tails identical to the solo runs.
+        scenarios = [
+            Scenario(
+                "banyan",
+                8,
+                load,
+                queueing="voq",
+                islip_iterations=2,
+                seed=seed,
+                **RUN,
+            )
+            for load, seed in [(0.05, 21), (0.9, 22)]
+        ]
+        vec, fused = run_both(scenarios)
+        drains = {r.detail.drain_slots for r in vec}
+        assert len(drains) == 2, "expected distinct drain lengths"
+
+
+class TestStackKey:
+    def test_varying_axes_share_a_key(self):
+        base = Scenario("banyan", 8, 0.3, seed=1, **RUN)
+        for other in [
+            base.replace(load=0.8),
+            base.replace(seed=99),
+            base.replace(wire_mode="expected"),
+            base.replace(
+                traffic="hotspot",
+                traffic_params={"hotspot_fraction": 0.3},
+            ),
+        ]:
+            assert stack_key(other) == stack_key(base)
+
+    def test_structural_axes_split_keys(self):
+        base = Scenario("banyan", 8, 0.3, seed=1, **RUN)
+        for other in [
+            base.replace(ports=16),
+            base.replace(queueing="voq"),
+            base.replace(
+                queueing="voq", islip_iterations=2
+            ),
+            base.replace(rng_stream=2),
+            base.replace(arrival_slots=RUN["arrival_slots"] + 1),
+            base.replace(architecture="crossbar"),
+            base.replace(tech="0.13um"),
+        ]:
+            assert stack_key(other) != stack_key(base)
+
+    def test_unstackable_scenarios_return_none(self):
+        base = Scenario("banyan", 8, 0.3, seed=1, **RUN)
+        assert stack_key(base.replace(engine="reference")) is None
+        assert stack_key(
+            Scenario("crossbar", 8, 0.3, backend="estimate")
+        ) is None
+
+
+class TestBatchStrategies:
+    def test_auto_matches_vectorized_on_mixed_batch(self):
+        scenarios = [
+            Scenario("crossbar", 8, 0.4, backend="estimate"),
+            Scenario(
+                "crossbar",
+                8,
+                0.5,
+                engine="reference",
+                seed=3,
+                arrival_slots=60,
+                warmup_slots=10,
+            ),
+            Scenario("banyan", 8, 0.3, seed=1, **RUN),
+            Scenario("banyan", 8, 0.7, seed=2, **RUN),
+        ]
+        session = PowerModel()
+        vec = session.run_batch(scenarios, strategy="vectorized")
+        auto = session.run_batch(scenarios, strategy="auto")
+        assert_details_identical(vec, auto)
+
+    def test_singleton_stack_fused(self):
+        scenario = Scenario("banyan", 8, 0.5, seed=6, **RUN)
+        run_both([scenario])
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel().run_batch(
+                [Scenario("banyan", 8, 0.5, **RUN)], strategy="turbo"
+            )
+
+    def test_thread_pool_with_fused_units(self):
+        scenarios = [
+            Scenario("banyan", 8, load, seed=seed, **RUN)
+            for load, seed in [(0.2, 1), (0.6, 2), (0.9, 3)]
+        ] + [Scenario("crossbar", 8, 0.5, seed=4, **RUN)]
+        session = PowerModel()
+        serial = session.run_batch(scenarios, strategy="vectorized")
+        pooled = session.run_batch(scenarios, workers=3, strategy="auto")
+        assert_details_identical(serial, pooled)
+
+    def test_fused_records_share_store_with_zero_misses(self, tmp_path):
+        """A cache written by per-scenario runs serves fused batches
+        (and vice versa) without a single extra simulation: fusion is
+        an execution strategy, not part of the content hash."""
+        path = tmp_path / "cache.jsonl"
+        scenarios = [
+            Scenario("banyan", 8, load, seed=seed, **RUN)
+            for load, seed in [(0.25, 1), (0.5, 2), (0.75, 3)]
+        ]
+        session = PowerModel()
+        first = session.run_batch(
+            scenarios, store=RunRecordStore(path), strategy="vectorized"
+        )
+        warm = RunRecordStore(path)
+        ran = {"n": 0}
+        original = session._run_unit
+
+        def counting(fused, scens):
+            ran["n"] += len(scens)
+            return original(fused, scens)
+
+        session._run_unit = counting
+        cached = session.run_batch(scenarios, store=warm, strategy="fused")
+        assert ran["n"] == 0
+        assert warm.hits == len(scenarios)
+        assert warm.misses == 0
+        assert_details_identical(first, cached)
+        session._run_unit = original
+        # And the reverse: a fused-written cache serves solo batches.
+        path2 = tmp_path / "cache2.jsonl"
+        session.run_batch(
+            scenarios, store=RunRecordStore(path2), strategy="fused"
+        )
+        warm2 = RunRecordStore(path2)
+        again = session.run_batch(
+            scenarios, store=warm2, strategy="vectorized"
+        )
+        assert warm2.hits == len(scenarios)
+        assert warm2.misses == 0
+        assert_details_identical(first, again)
+
+
+class TestCampaignIntegration:
+    def test_grid_campaign_export_byte_identical(self):
+        campaign = Campaign(
+            name="fused-equiv",
+            architectures=("banyan",),
+            ports=(8,),
+            loads=(0.2, 0.5, 0.8),
+            base={"arrival_slots": 80, "warmup_slots": 10, "seed": 7},
+        )
+        vec = run_campaign(campaign, strategy="vectorized")
+        auto = run_campaign(campaign, strategy="auto")
+        assert vec.to_json() == auto.to_json()
+
+
+class TestEngineConstruction:
+    def test_mismatched_seed_count_rejected(self):
+        from repro.sim.runner import build_router
+
+        routers = [build_router("banyan", 8, load=0.5)]
+        with pytest.raises(ConfigurationError):
+            FusedVectorizedEngine(routers, [1, 2])
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FusedVectorizedEngine([], [])
+
+    def test_mixed_port_counts_rejected(self):
+        from repro.sim.runner import build_router
+
+        routers = [
+            build_router("banyan", 8, load=0.5),
+            build_router("banyan", 16, load=0.5),
+        ]
+        with pytest.raises(ConfigurationError):
+            FusedVectorizedEngine(routers, [1, 2])
