@@ -12,8 +12,11 @@ against a warm store need **no session at all**.
 The store is deliberately type-agnostic (keys map to ``(kind, dict)``
 payloads) so the api layer does not import the campaigns or network
 layers; the typed ``from_dict`` reconstruction happens at the caller.
-Same JSONL durability contract as the run-record store: append-only
-whole lines, corrupt trailers degrade to misses.
+Same hardened JSONL durability contract as the run-record store
+(:mod:`repro.api.jsonl`): checksummed lines appended under an advisory
+lock, corrupt lines quarantined into a sidecar and counted (degrading
+to misses), changed payloads appended as superseding last-wins lines,
+:meth:`compact` to squash history atomically.
 """
 
 from __future__ import annotations
@@ -22,6 +25,13 @@ import json
 import os
 from pathlib import Path
 from typing import Any
+
+from repro.api.jsonl import (
+    locked_append,
+    locked_rewrite,
+    quarantine_line,
+    verify_entry,
+)
 
 
 class DerivedRecordStore:
@@ -32,7 +42,7 @@ class DerivedRecordStore:
     path:
         The JSONL file.  Created (with parents) on first :meth:`put`;
         an existing file is loaded eagerly.  Lines are
-        ``{"key": ..., "kind": ..., "record": {...}}``.
+        ``{"key": ..., "kind": ..., "record": {...}, "sha": ...}``.
     """
 
     def __init__(self, path: str | os.PathLike) -> None:
@@ -41,6 +51,7 @@ class DerivedRecordStore:
         self.hits = 0
         self.misses = 0
         self.skipped_lines = 0
+        self.quarantined = 0
         if self.path.exists():
             self._load()
 
@@ -54,13 +65,18 @@ class DerivedRecordStore:
                     continue
                 try:
                     entry = json.loads(line)
+                    if not verify_entry(entry):
+                        raise ValueError("checksum mismatch")
                     key = (str(entry["kind"]), str(entry["key"]))
                     record = entry["record"]
                     if not isinstance(record, dict):
                         raise TypeError("record payload must be an object")
-                except (KeyError, TypeError, ValueError):
-                    # Partial/foreign line: degrade to a miss, never error.
+                except (KeyError, TypeError, ValueError) as exc:
+                    # Partial/corrupt/foreign line: degrade to a miss,
+                    # quarantine the damage, never error.
                     self.skipped_lines += 1
+                    self.quarantined += 1
+                    quarantine_line(self.path, line, str(exc))
                     continue
                 self._records[key] = record
 
@@ -79,16 +95,30 @@ class DerivedRecordStore:
         return record
 
     def put(self, key: str, kind: str, record: dict[str, Any]) -> None:
-        """Persist a freshly derived record (one appended JSONL line)."""
-        if (kind, key) in self._records:
-            self._records[(kind, key)] = record
+        """Persist a derived record (one appended, checksummed line).
+
+        A payload identical to the cached one is a no-op; a changed
+        payload for an existing key appends a superseding line (the
+        loader is last-wins) instead of silently keeping the stale line
+        on disk.
+        """
+        if self._records.get((kind, key)) == record:
             return
         self._records[(kind, key)] = record
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps({"key": key, "kind": kind, "record": record})
-        with self.path.open("a") as fh:
-            fh.write(line + "\n")
-            fh.flush()
+        locked_append(
+            self.path, {"key": key, "kind": kind, "record": record}
+        )
+
+    def compact(self) -> int:
+        """Atomically rewrite the store to one line per (kind, key)
+        (latest wins), dropping superseded and corrupt lines.  Returns
+        the number of lines written."""
+        payloads = [
+            {"key": key, "kind": kind, "record": record}
+            for (kind, key), record in self._records.items()
+        ]
+        locked_rewrite(self.path, payloads)
+        return len(payloads)
 
     def stats(self) -> dict[str, int]:
         return {
@@ -96,4 +126,5 @@ class DerivedRecordStore:
             "hits": self.hits,
             "misses": self.misses,
             "skipped_lines": self.skipped_lines,
+            "quarantined": self.quarantined,
         }

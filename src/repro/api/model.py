@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.core.bit_energy import (
@@ -51,9 +50,14 @@ from repro.wire_modes import WireMode
 
 from repro.api.records import RunRecord
 from repro.api.scenario import Scenario
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.records import BatchReport
+from repro.resilience.supervisor import Supervisor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.store import RunRecordStore
+    from repro.resilience.journal import CampaignJournal
 
 
 def _run_scenario_in_worker(scenario: Scenario) -> RunRecord:
@@ -376,8 +380,19 @@ class PowerModel:
             scenario, est, elapsed_s=time.perf_counter() - start
         )
 
-    def simulate(self, scenario: Scenario) -> RunRecord:
-        """Run a scenario through the bit-accurate backend."""
+    def simulate(
+        self, scenario: Scenario, engine: str | None = None
+    ) -> RunRecord:
+        """Run a scenario through the bit-accurate backend.
+
+        ``engine`` overrides the scenario's slot-loop implementation
+        *at execution time only* — the record still carries the
+        original scenario (and its content hash), which is what lets
+        the supervisor's degradation ladder fall back to the reference
+        engine without changing any export byte.  Both engines are
+        bit-identical on seeded runs, so the override never changes
+        results either.
+        """
         start = time.perf_counter()
         kwargs: dict[str, Any] = {}
         if scenario.architecture == "banyan":
@@ -396,7 +411,7 @@ class PowerModel:
             tech=scenario.technology,
             drain=scenario.drain,
             wire_mode=scenario.wire_mode,
-            engine=scenario.engine,
+            engine=engine if engine is not None else scenario.engine,
             traffic=scenario.build_traffic(),
             cell_format=scenario.cell_format,
             ingress_queue_cells=scenario.ingress_queue_cells,
@@ -408,11 +423,17 @@ class PowerModel:
             scenario, result, elapsed_s=time.perf_counter() - start
         )
 
-    def run(self, scenario: Scenario) -> RunRecord:
-        """Dispatch on the scenario's declared backend."""
+    def run(
+        self, scenario: Scenario, engine: str | None = None
+    ) -> RunRecord:
+        """Dispatch on the scenario's declared backend.
+
+        ``engine`` is an execution-time slot-loop override (see
+        :meth:`simulate`); estimates ignore it.
+        """
         if scenario.backend == "estimate":
             return self.estimate(scenario)
-        return self.simulate(scenario)
+        return self.simulate(scenario, engine=engine)
 
     # ------------------------------------------------------------------
     # Fused batch execution
@@ -477,20 +498,28 @@ class PowerModel:
         ]
 
     def _run_unit(
-        self, fused: bool, scenarios: Sequence[Scenario]
+        self,
+        fused: bool,
+        scenarios: Sequence[Scenario],
+        engine: str | None = None,
     ) -> list[RunRecord]:
         """Run one execution unit (a fused stack or a lone scenario).
 
         A fused unit that fails to stack (e.g. a custom fabric whose
         registry entry overstated its capabilities) falls back to the
-        per-scenario path rather than failing the batch.
+        per-scenario path rather than failing the batch.  ``engine``
+        is the supervisor's execution-time slot-loop override (see
+        :meth:`simulate`); a fused unit never carries one (the ladder
+        unfuses before it changes engines).
         """
-        if fused and len(scenarios) >= 1:
+        if fused and engine is None and len(scenarios) >= 1:
             try:
                 return self._run_fused_group(scenarios)
             except ConfigurationError:
                 pass
-        return [self.run(s) for s in scenarios]
+        if engine is None:
+            return [self.run(s) for s in scenarios]
+        return [self.run(s, engine=engine) for s in scenarios]
 
     @staticmethod
     def _plan_units(
@@ -545,6 +574,10 @@ class PowerModel:
         executor: str = "thread",
         store: "RunRecordStore | None" = None,
         strategy: str = "auto",
+        retry: RetryPolicy | None = None,
+        journal: "CampaignJournal | None" = None,
+        faults: FaultPlan | None = None,
+        report: BatchReport | None = None,
     ) -> list[RunRecord]:
         """Run many scenarios; results keep the input order.
 
@@ -581,10 +614,36 @@ class PowerModel:
             never changes results: fused stacks are bit-identical to
             solo runs, records carry the same content hashes, and cache
             hit/miss behaviour against ``store`` is unchanged.
+        retry:
+            Optional :class:`~repro.resilience.RetryPolicy` supervising
+            every execution unit: retries with deterministic backoff,
+            per-unit wall-clock timeouts, graceful degradation (fused →
+            vectorized → reference engine; process pool → in-process
+            after repeated pool breaks), and ``on_failure="record"``
+            (``None`` result slots plus
+            :class:`~repro.resilience.FailureRecord` entries in the
+            report) instead of raising.  ``None`` keeps the historic
+            fail-fast behaviour (single attempt, first error raises).
+        journal:
+            Optional :class:`~repro.resilience.CampaignJournal`
+            checkpoint: every completed/failed unit is journaled
+            (flushed and fsynced) as it finishes, and a journal opened
+            with ``replay=True`` serves previously completed scenarios
+            without re-running them (``--resume``).
+        faults:
+            Optional deterministic
+            :class:`~repro.resilience.FaultPlan` consulted at the top
+            of each unit attempt (tests and the chaos CI job only).
+        report:
+            Optional :class:`~repro.resilience.BatchReport` to
+            accumulate the batch's resilience tally into (retries,
+            degradations, pool respawns, timeouts, replays, failures).
 
         Every scenario carries its own seed and every run owns its
         router/engine state, so results are identical (bit-for-bit)
-        across serial, thread, process, and fused execution.
+        across serial, thread, process, and fused execution — and, by
+        the degradation ladder's construction, across any sequence of
+        recovered faults.
         """
         scenario_list = list(scenarios)
         if workers is not None and workers < 1:
@@ -598,51 +657,61 @@ class PowerModel:
                 "strategy must be 'auto', 'fused' or 'vectorized', "
                 f"got {strategy!r}"
             )
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise ConfigurationError(
+                f"retry must be a RetryPolicy, got {type(retry).__name__}"
+            )
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise ConfigurationError(
+                f"faults must be a FaultPlan, got {type(faults).__name__}"
+            )
+        policy = retry if retry is not None else RetryPolicy.none()
         if not scenario_list:
             return []
         results: list[RunRecord | None] = [None] * len(scenario_list)
-        if store is not None:
-            pending = []
-            for index, scenario in enumerate(scenario_list):
-                cached = store.get(scenario)
+        pending = []
+        for index, scenario in enumerate(scenario_list):
+            cached = store.get(scenario) if store is not None else None
+            if (
+                cached is None
+                and journal is not None
+                and journal.replay
+            ):
+                cached = journal.record_for(scenario.content_hash())
                 if cached is not None:
-                    results[index] = cached
-                else:
-                    pending.append((index, scenario))
-        else:
-            pending = list(enumerate(scenario_list))
+                    if report is not None:
+                        report.replayed += 1
+                    if store is not None:
+                        store.put(cached)
+            elif cached is not None and journal is not None:
+                # A store cache hit completes the unit as far as the
+                # journal is concerned: checkpoint it so a later resume
+                # does not depend on the store being present.
+                if not journal.completed(scenario.content_hash()):
+                    journal.record_done(cached)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append((index, scenario))
         if pending:
             units = self._plan_units(pending, strategy)
-            if workers is None or workers == 1 or len(units) == 1:
-                unit_records = [
-                    self._run_unit(fused, [s for _, s in items])
-                    for fused, items in units
-                ]
-            elif executor == "process":
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [
-                        pool.submit(
-                            _run_unit_in_worker,
-                            fused,
-                            tuple(s for _, s in items),
-                        )
-                        for fused, items in units
-                    ]
-                    unit_records = [f.result() for f in futures]
-            else:
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    futures = [
-                        pool.submit(
-                            self._run_unit, fused, [s for _, s in items]
-                        )
-                        for fused, items in units
-                    ]
-                    unit_records = [f.result() for f in futures]
-            for (_, items), records in zip(units, unit_records):
-                for (index, _), record in zip(items, records):
-                    results[index] = record
-                    if store is not None:
-                        store.put(record)
+            eff_workers = workers
+            if (
+                len(units) == 1
+                and faults is None
+                and policy.timeout_s is None
+            ):
+                eff_workers = 1  # a lone unit never pays pool startup
+            supervisor = Supervisor(
+                self,
+                policy,
+                workers=eff_workers,
+                executor=executor,
+                faults=faults,
+                report=report,
+            )
+            supervisor.run_units(units, results, store=store,
+                                 journal=journal)
         return results
 
 
@@ -677,6 +746,10 @@ def run_batch(
     executor: str = "thread",
     store: "RunRecordStore | None" = None,
     strategy: str = "auto",
+    retry: RetryPolicy | None = None,
+    journal: "CampaignJournal | None" = None,
+    faults: FaultPlan | None = None,
+    report: BatchReport | None = None,
 ) -> list[RunRecord]:
     """Module-level convenience over the shared default session."""
     return default_session().run_batch(
@@ -685,4 +758,8 @@ def run_batch(
         executor=executor,
         store=store,
         strategy=strategy,
+        retry=retry,
+        journal=journal,
+        faults=faults,
+        report=report,
     )

@@ -1,4 +1,4 @@
-"""On-disk result cache: a JSONL store of executed scenarios.
+"""On-disk result cache: a hardened JSONL store of executed scenarios.
 
 Repeated campaigns (load sweeps re-run with one extra point, CI jobs,
 multi-process fan-outs) keep re-measuring operating points that have
@@ -10,12 +10,24 @@ is served from disk instead of re-simulated.  Because both engines are
 bit-identical and every scenario carries its seed, a cached record *is*
 the record the run would produce.
 
-The file format is append-only JSONL: concurrent writers (e.g. several
-``repro batch --cache`` invocations) each append whole lines, and
-corrupt/partial trailing lines are skipped on load rather than
-poisoning the cache.  Wire it into a batch with
-``PowerModel.run_batch(..., store=...)`` or ``repro batch --cache
-PATH``.
+Durability contract (shared with :mod:`repro.api.figstore` and the
+campaign journal via :mod:`repro.api.jsonl`):
+
+* append-only JSONL, whole lines, written under an advisory file lock
+  and fsynced — concurrent ``repro batch --cache`` invocations
+  interleave cleanly, and a kill mid-append tears at most the final
+  line;
+* every line carries a SHA-256 checksum over its payload; a line that
+  fails to parse *or* to verify is moved into the ``<store>.quarantine``
+  sidecar (with a reason) and counted, degrading to a cache miss
+  instead of being served as a result;
+* re-``put`` of a changed record for an existing key appends a new line
+  (the loader is last-wins), so an updated record is never silently
+  dropped on disk; :meth:`compact` rewrites the file atomically to one
+  line per key.
+
+Lines written before hardening (no ``"sha"`` field) still load, so old
+caches stay valid.
 """
 
 from __future__ import annotations
@@ -27,6 +39,12 @@ from typing import Iterator
 
 from repro.errors import ConfigurationError
 
+from repro.api.jsonl import (
+    locked_append,
+    locked_rewrite,
+    quarantine_line,
+    verify_entry,
+)
 from repro.api.records import RunRecord
 from repro.api.scenario import Scenario
 
@@ -44,9 +62,11 @@ class RunRecordStore:
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = Path(path)
         self._records: dict[str, RunRecord] = {}
+        self._disk: dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
         self.skipped_lines = 0
+        self.quarantined = 0
         if self.path.exists():
             self._load()
 
@@ -60,6 +80,8 @@ class RunRecordStore:
                     continue
                 try:
                     entry = json.loads(line)
+                    if not verify_entry(entry):
+                        raise ValueError("checksum mismatch")
                     key = entry["key"]
                     record = RunRecord.from_cache_dict(entry["record"])
                 except (
@@ -67,12 +89,18 @@ class RunRecordStore:
                     TypeError,
                     ValueError,
                     ConfigurationError,
-                ):
-                    # Partial/foreign line (e.g. a writer died mid-append);
-                    # a cache must degrade to a miss, not an error.
+                ) as exc:
+                    # Partial/corrupt/foreign line (a writer died
+                    # mid-append, or the line rotted on disk): a cache
+                    # must degrade to a miss, not an error — but the
+                    # damage is moved aside and counted, not silently
+                    # swallowed.
                     self.skipped_lines += 1
+                    self.quarantined += 1
+                    quarantine_line(self.path, line, str(exc))
                     continue
                 self._records[key] = record
+                self._disk[key] = entry["record"]
 
     def __len__(self) -> int:
         return len(self._records)
@@ -95,17 +123,33 @@ class RunRecordStore:
         return record
 
     def put(self, record: RunRecord) -> None:
-        """Persist a freshly-run record (one appended JSONL line)."""
+        """Persist a record (one appended, checksummed JSONL line).
+
+        A record byte-identical to what is already on disk for its key
+        is a no-op; a *changed* record for an existing key appends a
+        superseding line (the loader is last-wins) — it is never
+        dropped from disk while only the in-memory copy updates.
+        """
         key = record.scenario.content_hash()
-        if key in self._records:
+        payload = record.to_cache_dict()
+        if self._disk.get(key) == payload:
             self._records[key] = record
             return
         self._records[key] = record
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps({"key": key, "record": record.to_cache_dict()})
-        with self.path.open("a") as fh:
-            fh.write(line + "\n")
-            fh.flush()
+        self._disk[key] = payload
+        locked_append(self.path, {"key": key, "record": payload})
+
+    def compact(self) -> int:
+        """Atomically rewrite the store to one line per key (latest
+        wins), dropping superseded and corrupt lines.  Returns the
+        number of lines written."""
+        payloads = [
+            {"key": key, "record": self._disk[key]}
+            for key in self._records
+            if key in self._disk
+        ]
+        locked_rewrite(self.path, payloads)
+        return len(payloads)
 
     def stats(self) -> dict[str, int]:
         return {
@@ -113,4 +157,5 @@ class RunRecordStore:
             "hits": self.hits,
             "misses": self.misses,
             "skipped_lines": self.skipped_lines,
+            "quarantined": self.quarantined,
         }

@@ -34,6 +34,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 from repro.campaigns.campaign import Campaign
+from repro.resilience.records import FailureRecord
 
 
 def _match(point: Mapping[str, Any], where: Mapping[str, Any]) -> bool:
@@ -77,6 +78,12 @@ class ComparisonRecord:
         Runtime-only payload (not serialised): the ``RunRecord`` list
         for grid campaigns, the full characterisation dict for Table 1,
         ``None`` after a JSON round-trip.
+    failures:
+        :class:`~repro.resilience.records.FailureRecord` list for
+        points the supervisor gave up on (``on_failure="record"``) —
+        the campaign's explicit holes.  Empty on a clean run, and
+        omitted from the JSON form entirely, so clean exports are
+        byte-identical to pre-resilience ones.
     """
 
     campaign: Campaign
@@ -84,6 +91,7 @@ class ComparisonRecord:
     metrics: tuple[str, ...]
     points: list[dict[str, Any]] = field(default_factory=list)
     detail: Any = None
+    failures: list[FailureRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Lookup and pivots
@@ -268,8 +276,10 @@ class ComparisonRecord:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe dict; :meth:`from_dict` round-trips it (minus
-        :attr:`detail`)."""
-        return {
+        :attr:`detail`).  ``failures`` appears only when nonempty, so
+        a clean run's JSON is byte-identical to pre-resilience output
+        (and old cached records still load)."""
+        out = {
             "campaign": self.campaign.to_dict(),
             "axes": list(self.axes),
             "metrics": list(self.metrics),
@@ -277,13 +287,16 @@ class ComparisonRecord:
                 {k: _thaw(v) for k, v in p.items()} for p in self.points
             ],
         }
+        if self.failures:
+            out["failures"] = [f.to_dict() for f in self.failures]
+        return out
 
     def to_json(self, indent: int = 2, **dumps_kwargs: Any) -> str:
         return json.dumps(self.to_dict(), indent=indent, **dumps_kwargs)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ComparisonRecord":
-        known = {"campaign", "axes", "metrics", "points"}
+        known = {"campaign", "axes", "metrics", "points", "failures"}
         unknown = set(data) - known
         if unknown:
             raise ConfigurationError(
@@ -295,6 +308,10 @@ class ComparisonRecord:
                 axes=tuple(data["axes"]),
                 metrics=tuple(data["metrics"]),
                 points=[dict(p) for p in data["points"]],
+                failures=[
+                    FailureRecord.from_dict(f)
+                    for f in data.get("failures", ())
+                ],
             )
         except KeyError as exc:
             raise ConfigurationError(

@@ -47,9 +47,17 @@ from repro.api.figstore import DerivedRecordStore
 from repro.api.model import PowerModel, default_session
 from repro.api.records import RunRecord
 from repro.api.store import RunRecordStore
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.records import BatchReport
 
 from repro.campaigns.campaign import Campaign, GRID_AXES
 from repro.campaigns.comparison import ComparisonRecord
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.journal import CampaignJournal
 
 #: Metric columns of a grid campaign's points (RunRecord headline
 #: numbers, in CSV column order).
@@ -279,6 +287,10 @@ def _run_network(
     store: RunRecordStore | None,
     figures: DerivedRecordStore | None,
     strategy: str = "auto",
+    retry: "RetryPolicy | None" = None,
+    journal: "CampaignJournal | None" = None,
+    faults: FaultPlan | None = None,
+    report: BatchReport | None = None,
 ) -> ComparisonRecord:
     from repro.network.power import NetworkPowerModel
 
@@ -286,6 +298,7 @@ def _run_network(
     model = NetworkPowerModel(session)
     points = []
     records = []
+    failures = []
     for scale in campaign.network_scales():
         scaled = spec if scale == 1.0 else spec.scaled(scale)
         record = model.run(
@@ -295,8 +308,13 @@ def _run_network(
             store=store,
             figures=figures,
             strategy=strategy,
+            retry=retry,
+            journal=journal,
+            faults=faults,
+            report=report,
         )
         records.append(record)
+        failures.extend(record.failures)
         for row in record.nodes:
             points.append(_network_node_point(scale, row))
         points.append(_network_total_point(scale, record))
@@ -306,6 +324,7 @@ def _run_network(
         metrics=NETWORK_METRICS,
         points=points,
         detail=records,
+        failures=failures,
     )
 
 
@@ -316,6 +335,10 @@ def _run_control(
     executor: str,
     store: RunRecordStore | None,
     figures: DerivedRecordStore | None,
+    retry: "RetryPolicy | None" = None,
+    journal: "CampaignJournal | None" = None,
+    faults: FaultPlan | None = None,
+    report: BatchReport | None = None,
 ) -> ComparisonRecord:
     from repro.control.model import ControlModel
 
@@ -326,6 +349,10 @@ def _run_control(
         executor=executor,
         store=store,
         figures=figures,
+        retry=retry,
+        journal=journal,
+        faults=faults,
+        report=report,
     )
     points = [_control_epoch_point(row) for row in record.epochs]
     points.append(_control_total_point(record))
@@ -345,20 +372,34 @@ def _run_grid(
     executor: str,
     store: RunRecordStore | None,
     strategy: str = "auto",
+    retry: "RetryPolicy | None" = None,
+    journal: "CampaignJournal | None" = None,
+    faults: FaultPlan | None = None,
+    report: BatchReport | None = None,
 ) -> ComparisonRecord:
+    batch_report = report if report is not None else BatchReport()
+    before = len(batch_report.failures)
     records = session.run_batch(
         campaign.scenarios(),
         workers=workers,
         executor=executor,
         store=store,
         strategy=strategy,
+        retry=retry,
+        journal=journal,
+        faults=faults,
+        report=batch_report,
     )
+    # Failed points (on_failure="record") leave None slots: the record
+    # keeps only completed points and carries the failures as explicit
+    # holes, so a partial campaign still exports everything it measured.
     return ComparisonRecord(
         campaign=campaign,
         axes=GRID_AXES,
         metrics=GRID_METRICS,
-        points=[_grid_point(r) for r in records],
+        points=[_grid_point(r) for r in records if r is not None],
         detail=records,
+        failures=list(batch_report.failures[before:]),
     )
 
 
@@ -439,6 +480,10 @@ def run_campaign(
     store: RunRecordStore | None = None,
     figures: DerivedRecordStore | None = None,
     strategy: str = "auto",
+    retry: "RetryPolicy | None" = None,
+    journal: "CampaignJournal | None" = None,
+    faults: FaultPlan | None = None,
+    report: BatchReport | None = None,
 ) -> ComparisonRecord:
     """Execute a campaign (or preset name) into a comparison record.
 
@@ -477,6 +522,16 @@ def run_campaign(
         runs, ``"fused"`` stacks every stackable scenario.  Results
         and cache behaviour are bit-identical either way; table kinds
         ignore it and control campaigns inherit the batch default.
+    retry / journal / faults / report:
+        The supervised-execution surface of
+        :meth:`~repro.api.PowerModel.run_batch`: retry policy with
+        timeouts and degradation, per-unit JSONL checkpoint journal
+        (open it with ``replay=True`` to resume a killed campaign),
+        deterministic fault plan (tests/chaos CI), and the resilience
+        tally.  Table kinds ignore all four (they run no scenarios);
+        control campaigns tighten ``on_failure`` to ``"raise"``.  A
+        record carrying failures is never figure-cached — a later
+        clean run must not be served the holes.
     """
     if isinstance(campaign, str):
         from repro.campaigns.presets import get_campaign
@@ -493,19 +548,22 @@ def run_campaign(
         record = _run_table2(campaign)
     elif campaign.kind == "network":
         record = _run_network(
-            campaign, session, workers, executor, store, figures, strategy
+            campaign, session, workers, executor, store, figures, strategy,
+            retry=retry, journal=journal, faults=faults, report=report,
         )
     elif campaign.kind == "control":
         record = _run_control(
-            campaign, session, workers, executor, store, figures
+            campaign, session, workers, executor, store, figures,
+            retry=retry, journal=journal, faults=faults, report=report,
         )
     else:
         if session is None:
             session = default_session()
         record = _run_grid(
-            campaign, session, workers, executor, store, strategy
+            campaign, session, workers, executor, store, strategy,
+            retry=retry, journal=journal, faults=faults, report=report,
         )
-    if figures is not None:
+    if figures is not None and not record.failures:
         figures.put(figure_key, "comparison", record.to_dict())
     return record
 

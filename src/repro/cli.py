@@ -32,6 +32,8 @@ Examples
     python -m repro sweep --arch batcher_banyan --ports 8
     python -m repro batch examples/scenarios.json --workers 4
     python -m repro campaign run fig9 --cache records.jsonl --csv fig9.csv
+    python -m repro campaign run fig9 --retries 2 --timeout 120 \\
+        --journal fig9_journal.jsonl --resume
     python -m repro campaign report table2
     python -m repro network run fat_tree_k4 --workers 4
     python -m repro network report dumbbell_switchoff
@@ -67,6 +69,53 @@ def _add_engine(parser: argparse.ArgumentParser) -> None:
         default="vectorized",
         help="slot-loop implementation (bit-identical seeded results; "
         "'vectorized' is several times faster)",
+    )
+
+
+def _add_resilience(parser: argparse.ArgumentParser) -> None:
+    """Supervised-execution flags shared by batch|campaign|network|control."""
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry each failing execution unit up to N more times "
+        "(exponential backoff, deterministic jitter); exhausted units "
+        "become explicit holes in the record instead of aborting the "
+        "run.  Results are bit-identical with or without retries",
+    )
+    group.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock budget; a unit past its deadline is "
+        "abandoned (thread pool) or its pool killed and respawned "
+        "(process pool) and the attempt counts as a failure",
+    )
+    group.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="JSONL checkpoint journal: every unit outcome is flushed "
+        "to disk as it lands, so a killed run loses only unfinished "
+        "units",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed units from --journal without executing "
+        "them; only failed/missing units re-run (exports stay "
+        "byte-identical to an uninterrupted run)",
+    )
+    group.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="JSON FaultPlan of scripted failures (worker crashes, "
+        "hangs, transient errors) to inject — for testing the "
+        "recovery paths and the chaos CI job",
     )
 
 
@@ -196,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report to this file instead of stdout "
         "(a one-line summary still prints)",
     )
+    _add_resilience(batch)
 
     campaign = sub.add_parser(
         "campaign",
@@ -242,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
             "campaigns (bit-identical results; 'auto' fuses "
             "same-shaped scenario groups into one slot loop)",
         )
+        _add_resilience(p)
 
     run_p = campaign_sub.add_parser(
         "run", help="execute a campaign into a ComparisonRecord"
@@ -340,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(bit-identical results; 'auto' fuses same-shaped router "
             "groups into one slot loop)",
         )
+        _add_resilience(p)
 
     net_run = network_sub.add_parser(
         "run", help="execute a network spec into a NetworkRecord"
@@ -432,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
             "per epoch spec plus the whole ControlRecord keyed by the "
             "control spec's content hash",
         )
+        _add_resilience(p)
 
     ctl_run = control_sub.add_parser(
         "run", help="execute a control spec into a ControlRecord"
@@ -598,20 +651,20 @@ def cmd_batch(args) -> int:
         from repro.api.store import RunRecordStore
 
         store = RunRecordStore(args.cache)
+    resilience = _resilience_kwargs(args, _batch_key(scenarios))
     records = default_session().run_batch(
         scenarios,
         workers=args.workers,
         executor=args.executor,
         store=store,
         strategy=args.strategy,
+        **resilience,
     )
-    if store is not None:
-        stats = store.stats()
-        print(
-            f"cache {args.cache}: {stats['hits']} hits, "
-            f"{stats['misses']} misses, {stats['entries']} entries",
-            file=sys.stderr,
-        )
+    # With --retries, exhausted units are recorded holes (None): the
+    # report covers the completed scenarios, the failures print below.
+    records = [r for r in records if r is not None]
+    _campaign_cache_stats(args, store)
+    _resilience_summary(args, resilience)
 
     if args.format == "json":
         report = records_to_json(records)
@@ -660,6 +713,11 @@ def _campaign_store(args, campaign):
                 ("--workers", args.workers > 1),
                 ("--executor", args.executor != "thread"),
                 ("--strategy", args.strategy != "auto"),
+                ("--retries", args.retries is not None),
+                ("--timeout", args.timeout is not None),
+                ("--journal", args.journal),
+                ("--resume", args.resume),
+                ("--fault-plan", args.fault_plan),
             )
             if given
         ]
@@ -680,11 +738,18 @@ def _campaign_store(args, campaign):
 def _campaign_cache_stats(args, store) -> None:
     if store is not None:
         stats = store.stats()
-        print(
+        line = (
             f"cache {args.cache}: {stats['hits']} hits, "
-            f"{stats['misses']} misses, {stats['entries']} entries",
-            file=sys.stderr,
+            f"{stats['misses']} misses, {stats['entries']} entries"
         )
+        # Damage is loud: corrupt lines degrade to misses but are
+        # counted and quarantined, never silently dropped.
+        if stats.get("skipped_lines"):
+            line += (
+                f", {stats['skipped_lines']} skipped, "
+                f"{stats['quarantined']} quarantined"
+            )
+        print(line, file=sys.stderr)
 
 
 def _figure_store(args):
@@ -698,9 +763,103 @@ def _figure_store(args):
 def _figure_store_stats(args, figures) -> None:
     if figures is not None:
         stats = figures.stats()
-        print(
+        line = (
             f"figures {args.figures}: {stats['hits']} hits, "
-            f"{stats['misses']} misses, {stats['entries']} entries",
+            f"{stats['misses']} misses, {stats['entries']} entries"
+        )
+        if stats.get("skipped_lines"):
+            line += (
+                f", {stats['skipped_lines']} skipped, "
+                f"{stats['quarantined']} quarantined"
+            )
+        print(line, file=sys.stderr)
+
+
+def _batch_key(scenarios) -> str:
+    """A stable journal key for an ad-hoc scenario list: unlike
+    campaigns/specs there is no declarative object to hash, so the key
+    is derived from the ordered scenario content hashes."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for scenario in scenarios:
+        digest.update(scenario.content_hash().encode())
+        digest.update(b"\n")
+    return "batch-" + digest.hexdigest()[:16]
+
+
+def _resilience_kwargs(args, journal_key: str) -> dict:
+    """``retry``/``journal``/``faults``/``report`` call kwargs from the
+    shared resilience flags (empty dict when none are given).
+
+    ``--retries``/``--timeout`` build a :class:`RetryPolicy` with
+    ``on_failure="record"`` — from the CLI a failed unit should become
+    an explicit hole in the exported record, not a dead run.  (The
+    control command tightens this back to ``"raise"`` internally, since
+    savings need complete epochs.)
+    """
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "timeout", None)
+    journal_path = getattr(args, "journal", None)
+    resume = getattr(args, "resume", False)
+    fault_path = getattr(args, "fault_plan", None)
+    if resume and not journal_path:
+        raise ConfigurationError("--resume needs --journal PATH")
+    kwargs: dict = {}
+    if retries is not None or timeout is not None:
+        if retries is not None and retries < 0:
+            raise ConfigurationError("--retries must be >= 0")
+        from repro.resilience import RetryPolicy
+
+        kwargs["retry"] = RetryPolicy(
+            max_attempts=(retries or 0) + 1,
+            timeout_s=timeout,
+            on_failure="record",
+        )
+    if journal_path:
+        from repro.resilience import CampaignJournal
+
+        kwargs["journal"] = CampaignJournal(
+            journal_path, journal_key, replay=resume
+        )
+    if fault_path:
+        from pathlib import Path
+
+        from repro.resilience import FaultPlan
+
+        try:
+            text = Path(fault_path).read_text()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read fault plan {fault_path!r}: {exc}"
+            ) from exc
+        kwargs["faults"] = FaultPlan.from_json(text)
+    if kwargs:
+        from repro.resilience import BatchReport
+
+        kwargs["report"] = BatchReport()
+    return kwargs
+
+
+def _resilience_summary(args, kwargs: dict) -> None:
+    """Print the resilience tally and journal state to stderr (only
+    when something beyond plain first-attempt success happened)."""
+    report = kwargs.get("report")
+    if report is not None and report.eventful:
+        print(report.summary(), file=sys.stderr)
+        for failure in report.failures:
+            print(
+                f"  failed {failure.label}: {failure.error_type}: "
+                f"{failure.message} ({failure.attempts} attempts, "
+                f"stage {failure.stage})",
+                file=sys.stderr,
+            )
+    journal = kwargs.get("journal")
+    if journal is not None:
+        stats = journal.stats()
+        print(
+            f"journal {args.journal}: {stats['done']} done, "
+            f"{stats['failed']} failed, {stats['skipped_lines']} skipped",
             file=sys.stderr,
         )
 
@@ -732,9 +891,16 @@ def cmd_campaign(args) -> int:
 
     campaign = _resolve_campaign(args.name)
 
+    scenario_kind = campaign.kind in ("grid", "network", "control")
+
     if args.campaign_command == "report":
         store = _campaign_store(args, campaign)
         figures = _figure_store(args)
+        resilience = (
+            _resilience_kwargs(args, campaign.content_hash())
+            if scenario_kind
+            else {}
+        )
         record = run_campaign(
             campaign,
             workers=args.workers,
@@ -742,9 +908,11 @@ def cmd_campaign(args) -> int:
             store=store,
             figures=figures,
             strategy=args.strategy,
+            **resilience,
         )
         _campaign_cache_stats(args, store)
         _figure_store_stats(args, figures)
+        _resilience_summary(args, resilience)
         print(render_report(record))
         return 0
 
@@ -760,6 +928,11 @@ def cmd_campaign(args) -> int:
         return 0
     store = _campaign_store(args, campaign)
     figures = _figure_store(args)
+    resilience = (
+        _resilience_kwargs(args, campaign.content_hash())
+        if scenario_kind
+        else {}
+    )
     record = run_campaign(
         campaign,
         workers=args.workers,
@@ -767,9 +940,11 @@ def cmd_campaign(args) -> int:
         store=store,
         figures=figures,
         strategy=args.strategy,
+        **resilience,
     )
     _campaign_cache_stats(args, store)
     _figure_store_stats(args, figures)
+    _resilience_summary(args, resilience)
     if args.csv_path:
         Path(args.csv_path).write_text(record.to_csv())
         print(f"{len(record.points)} points -> {args.csv_path}",
@@ -898,6 +1073,7 @@ def cmd_network(args) -> int:
 
         store = RunRecordStore(args.cache)
     figures = _figure_store(args)
+    resilience = _resilience_kwargs(args, spec.content_hash())
     record = model.run(
         spec,
         workers=args.workers,
@@ -905,9 +1081,11 @@ def cmd_network(args) -> int:
         store=store,
         figures=figures,
         strategy=args.strategy,
+        **resilience,
     )
     _campaign_cache_stats(args, store)
     _figure_store_stats(args, figures)
+    _resilience_summary(args, resilience)
 
     if args.network_command == "report":
         print(render_network_report(record))
@@ -1037,15 +1215,18 @@ def cmd_control(args) -> int:
 
         store = RunRecordStore(args.cache)
     figures = _figure_store(args)
+    resilience = _resilience_kwargs(args, spec.content_hash())
     record = model.run(
         spec,
         workers=args.workers,
         executor=args.executor,
         store=store,
         figures=figures,
+        **resilience,
     )
     _campaign_cache_stats(args, store)
     _figure_store_stats(args, figures)
+    _resilience_summary(args, resilience)
 
     if args.control_command == "report":
         print(render_control_report(record))

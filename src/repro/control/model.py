@@ -36,6 +36,9 @@ from typing import TYPE_CHECKING, Any
 from repro.errors import ConfigurationError
 
 from repro.api.model import PowerModel
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.records import BatchReport
 
 from repro.network.power import NetworkPowerModel, NetworkRecord
 from repro.network.routing import _TOL
@@ -47,6 +50,7 @@ from repro.control.spec import ControlSpec
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.figstore import DerivedRecordStore
     from repro.api.store import RunRecordStore
+    from repro.resilience.journal import CampaignJournal
 
 
 class ControlModel:
@@ -189,6 +193,10 @@ class ControlModel:
         workers: int | None,
         executor: str,
         store: "RunRecordStore | None",
+        retry: RetryPolicy | None = None,
+        journal: "CampaignJournal | None" = None,
+        faults: FaultPlan | None = None,
+        report: BatchReport | None = None,
     ) -> tuple[list[dict[str, Any]], list[NetworkRecord]]:
         """One pass over the series at one SLA headroom: per epoch,
         evaluate the candidates and keep the strictly cheapest (ties
@@ -228,6 +236,10 @@ class ControlModel:
                             workers=workers,
                             executor=executor,
                             store=store,
+                            retry=retry,
+                            journal=journal,
+                            faults=faults,
+                            report=report,
                         )
                     candidates.append(
                         self._candidate(
@@ -300,6 +312,10 @@ class ControlModel:
         executor: str = "thread",
         store: "RunRecordStore | None" = None,
         figures: "DerivedRecordStore | None" = None,
+        retry: RetryPolicy | None = None,
+        journal: "CampaignJournal | None" = None,
+        faults: FaultPlan | None = None,
+        report: BatchReport | None = None,
     ) -> ControlRecord:
         """Execute the spec into a :class:`ControlRecord`.
 
@@ -307,7 +323,16 @@ class ControlModel:
         short-circuits the whole series when the control spec's content
         hash is already in the derived-figure store, and also caches
         each epoch's fixed-routing baseline under kind ``"network"``.
+
+        A ``retry`` policy with ``on_failure="record"`` is tightened to
+        ``"raise"`` here: the savings arithmetic compares complete
+        epochs against complete baselines, so a partial epoch would
+        poison every derived number — retries, timeouts, and the
+        journal still apply, but a permanently failed unit fails the
+        run instead of leaving a hole.
         """
+        if retry is not None and retry.on_failure != "raise":
+            retry = retry.replace(on_failure="raise")
         if figures is not None:
             cached = figures.get(spec.content_hash(), "control")
             if cached is not None:
@@ -326,6 +351,10 @@ class ControlModel:
                 executor=executor,
                 store=store,
                 figures=figures,
+                retry=retry,
+                journal=journal,
+                faults=faults,
+                report=report,
             )
         plan_cache: dict[tuple, Any] = {}
         routed_cache: dict[tuple, NetworkRecord] = {}
@@ -342,6 +371,10 @@ class ControlModel:
                 workers,
                 executor,
                 store,
+                retry=retry,
+                journal=journal,
+                faults=faults,
+                report=report,
             )
             sla_rows.append(self._sla_row(spec, headroom, rows))
             if headroom == spec.max_utilization:
@@ -392,6 +425,10 @@ def run_control(
     executor: str = "thread",
     store: "RunRecordStore | None" = None,
     figures: "DerivedRecordStore | None" = None,
+    retry: RetryPolicy | None = None,
+    journal: "CampaignJournal | None" = None,
+    faults: FaultPlan | None = None,
+    report: BatchReport | None = None,
 ) -> ControlRecord:
     """Execute a control spec (or preset name) into a record."""
     if isinstance(spec, str):
@@ -403,7 +440,15 @@ def run_control(
             f"spec must be a ControlSpec or preset name, got {spec!r}"
         )
     return ControlModel(session).run(
-        spec, workers=workers, executor=executor, store=store, figures=figures
+        spec,
+        workers=workers,
+        executor=executor,
+        store=store,
+        figures=figures,
+        retry=retry,
+        journal=journal,
+        faults=faults,
+        report=report,
     )
 
 

@@ -38,6 +38,9 @@ from repro.tech.presets import get_technology
 from repro.api.model import PowerModel, default_session
 from repro.api.records import RunRecord
 from repro.api.scenario import Scenario, _freeze_params, _thaw_value
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.records import BatchReport, FailureRecord
 
 from repro.network.routing import ROUTING_MODES, RoutingResult, route
 from repro.network.topology import NetworkTopology, RouterNode
@@ -46,6 +49,7 @@ from repro.network.traffic_matrix import TrafficMatrix
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.figstore import DerivedRecordStore
     from repro.api.store import RunRecordStore
+    from repro.resilience.journal import CampaignJournal
 
 #: Scenario fields a network spec derives itself and therefore rejects
 #: in :attr:`NetworkSpec.base`.
@@ -268,6 +272,14 @@ class NetworkRecord:
         Runtime-only payload (not serialised): ``{"records": {node:
         RunRecord}, "routing": RoutingResult}``; ``None`` after a JSON
         round-trip.
+    failures:
+        :class:`~repro.resilience.records.FailureRecord` list for
+        routers whose scenario the supervisor gave up on
+        (``on_failure="record"``).  Their node rows carry ``None``
+        fabric metrics and the totals cover only completed routers —
+        explicit holes, never silently shrunk aggregates presented as
+        complete.  Empty on a clean run and omitted from the JSON form,
+        so clean exports (and old cached records) are unchanged.
     """
 
     spec: NetworkSpec
@@ -275,6 +287,7 @@ class NetworkRecord:
     links: list[dict[str, Any]] = field(default_factory=list)
     totals: dict[str, Any] = field(default_factory=dict)
     detail: Any = None
+    failures: list[FailureRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -343,20 +356,24 @@ class NetworkRecord:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe dict; :meth:`from_dict` round-trips it (minus
-        :attr:`detail`)."""
-        return {
+        :attr:`detail`).  ``failures`` appears only when nonempty so
+        clean exports are byte-identical to pre-resilience ones."""
+        out = {
             "spec": self.spec.to_dict(),
             "nodes": [dict(row) for row in self.nodes],
             "links": [dict(row) for row in self.links],
             "totals": dict(self.totals),
         }
+        if self.failures:
+            out["failures"] = [f.to_dict() for f in self.failures]
+        return out
 
     def to_json(self, indent: int = 2, **dumps_kwargs: Any) -> str:
         return json.dumps(self.to_dict(), indent=indent, **dumps_kwargs)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "NetworkRecord":
-        known = {"spec", "nodes", "links", "totals"}
+        known = {"spec", "nodes", "links", "totals", "failures"}
         unknown = set(data) - known
         if unknown:
             raise ConfigurationError(
@@ -368,6 +385,10 @@ class NetworkRecord:
                 nodes=[dict(row) for row in data["nodes"]],
                 links=[dict(row) for row in data["links"]],
                 totals=dict(data["totals"]),
+                failures=[
+                    FailureRecord.from_dict(f)
+                    for f in data.get("failures", ())
+                ],
             )
         except KeyError as exc:
             raise ConfigurationError(
@@ -478,15 +499,22 @@ class NetworkPowerModel:
         store: "RunRecordStore | None" = None,
         figures: "DerivedRecordStore | None" = None,
         strategy: str = "auto",
+        retry: RetryPolicy | None = None,
+        journal: "CampaignJournal | None" = None,
+        faults: FaultPlan | None = None,
+        report: BatchReport | None = None,
     ) -> NetworkRecord:
         """Execute the spec into a :class:`NetworkRecord`.
 
-        Parameters mirror :meth:`repro.api.PowerModel.run_batch`;
+        Parameters mirror :meth:`repro.api.PowerModel.run_batch`
+        (``retry``/``journal``/``faults``/``report`` included);
         ``figures`` short-circuits the whole run when the spec's
         content hash is already in the derived-figure store.  With the
         default ``strategy="auto"`` the per-router scenarios of a
         uniform topology (one fabric type, one port count) fuse into a
-        single multi-scenario slot loop.
+        single multi-scenario slot loop.  A record with failures
+        (explicit holes) is never figure-cached — a later clean run
+        must not be served the holes.
         """
         if figures is not None:
             cached = figures.get(spec.content_hash(), "network")
@@ -500,8 +528,12 @@ class NetworkPowerModel:
             executor=executor,
             store=store,
             strategy=strategy,
+            retry=retry,
+            journal=journal,
+            faults=faults,
+            report=report,
         )
-        if figures is not None:
+        if figures is not None and not record.failures:
             figures.put(spec.content_hash(), "network", record.to_dict())
         return record
 
@@ -513,6 +545,10 @@ class NetworkPowerModel:
         executor: str = "thread",
         store: "RunRecordStore | None" = None,
         strategy: str = "auto",
+        retry: RetryPolicy | None = None,
+        journal: "CampaignJournal | None" = None,
+        faults: FaultPlan | None = None,
+        report: BatchReport | None = None,
     ) -> NetworkRecord:
         """Execute the spec under an externally supplied routing.
 
@@ -523,15 +559,26 @@ class NetworkPowerModel:
         (the routing is not derivable from the spec alone).
         """
         pairs = self.scenarios(spec, routing)
+        batch_report = report if report is not None else BatchReport()
+        before = len(batch_report.failures)
         records = self.session.run_batch(
             [scenario for _, scenario in pairs],
             workers=workers,
             executor=executor,
             store=store,
             strategy=strategy,
+            retry=retry,
+            journal=journal,
+            faults=faults,
+            report=batch_report,
         )
         by_node = {name: rec for (name, _), rec in zip(pairs, records)}
-        return self._aggregate(spec, routing, by_node)
+        return self._aggregate(
+            spec,
+            routing,
+            by_node,
+            failures=batch_report.failures[before:],
+        )
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -541,7 +588,8 @@ class NetworkPowerModel:
         self,
         spec: NetworkSpec,
         routing: RoutingResult,
-        by_node: dict[str, RunRecord],
+        by_node: dict[str, "RunRecord | None"],
+        failures: list[FailureRecord] | None = None,
     ) -> NetworkRecord:
         node_rows = []
         fabric_total = 0.0
@@ -553,6 +601,30 @@ class NetworkPowerModel:
             powered = sum(active) if spec.switch_off else node.ports
             port_power = powered * spec.port_power_w
             loads = routing.ingress_loads[node.name]
+            if rec is None:
+                # A supervisor-recorded failure: an explicit hole — the
+                # row keeps its topology-derived columns, fabric
+                # metrics stay None, and the totals cover only
+                # completed routers (the failures list says which).
+                node_rows.append(
+                    {
+                        "node": node.name,
+                        "architecture": node.architecture,
+                        "ports": node.ports,
+                        "powered_ports": powered,
+                        "mean_load": sum(loads) / len(loads),
+                        "throughput": None,
+                        "fabric_power_w": None,
+                        "switch_power_w": None,
+                        "wire_power_w": None,
+                        "buffer_power_w": None,
+                        "port_power_w": port_power,
+                        "power_w": None,
+                    }
+                )
+                port_total += port_power
+                powered_total += powered
+                continue
             node_rows.append(
                 {
                     "node": node.name,
@@ -644,6 +716,7 @@ class NetworkPowerModel:
             links=link_rows,
             totals=totals,
             detail={"records": by_node, "routing": routing},
+            failures=list(failures) if failures else [],
         )
 
 
@@ -655,12 +728,19 @@ def run_network(
     store: "RunRecordStore | None" = None,
     figures: "DerivedRecordStore | None" = None,
     scale: float = 1.0,
+    retry: RetryPolicy | None = None,
+    journal: "CampaignJournal | None" = None,
+    faults: FaultPlan | None = None,
+    report: BatchReport | None = None,
 ) -> NetworkRecord:
     """Execute a network spec (or preset name) into a record.
 
     ``scale`` multiplies every demand before running (the load-sweep
     knob network campaigns use); the scaled spec hashes differently, so
     cached figures per scale never collide.
+    ``retry``/``journal``/``faults``/``report`` supervise the
+    underlying batch exactly as in
+    :meth:`repro.api.PowerModel.run_batch`.
     """
     if isinstance(spec, str):
         from repro.network.presets import get_network
@@ -669,7 +749,15 @@ def run_network(
     if scale != 1.0:
         spec = spec.scaled(scale)
     return NetworkPowerModel(session).run(
-        spec, workers=workers, executor=executor, store=store, figures=figures
+        spec,
+        workers=workers,
+        executor=executor,
+        store=store,
+        figures=figures,
+        retry=retry,
+        journal=journal,
+        faults=faults,
+        report=report,
     )
 
 

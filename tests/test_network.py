@@ -537,7 +537,8 @@ class TestNetworkPower:
         warm = DerivedRecordStore(tmp_path / "figs.jsonl")
         second = run_network(spec, figures=warm)
         assert warm.stats() == {
-            "entries": 1, "hits": 1, "misses": 0, "skipped_lines": 0
+            "entries": 1, "hits": 1, "misses": 0, "skipped_lines": 0,
+            "quarantined": 0,
         }
         assert second.to_csv() == first.to_csv()
 
