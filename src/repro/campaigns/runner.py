@@ -295,6 +295,7 @@ def _run_network(
     from repro.network.power import NetworkPowerModel
 
     spec = campaign.network_spec()
+    params = campaign.params_dict
     model = NetworkPowerModel(session)
     points = []
     records = []
@@ -312,6 +313,8 @@ def _run_network(
             journal=journal,
             faults=faults,
             report=report,
+            shards=params.get("shards"),
+            detail=params.get("detail", "full"),
         )
         records.append(record)
         failures.extend(record.failures)

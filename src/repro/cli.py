@@ -391,6 +391,24 @@ def build_parser() -> argparse.ArgumentParser:
             "(bit-identical results; 'auto' fuses same-shaped router "
             "groups into one slot loop)",
         )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            metavar="N",
+            help="partition the per-router scenario grid into N "
+            "contiguous node-order shards, each run as its own batch "
+            "and folded into the record incrementally — bounded peak "
+            "memory, byte-identical exports",
+        )
+        p.add_argument(
+            "--detail",
+            choices=("none", "summary", "full"),
+            default="full",
+            help="what the in-memory record retains after aggregation: "
+            "per-router RunRecords + routing (full, default), routing "
+            "only (summary), or nothing (none); exports are unaffected",
+        )
         _add_resilience(p)
 
     net_run = network_sub.add_parser(
@@ -1081,6 +1099,8 @@ def cmd_network(args) -> int:
         store=store,
         figures=figures,
         strategy=args.strategy,
+        shards=args.shards,
+        detail=args.detail,
         **resilience,
     )
     _campaign_cache_stats(args, store)

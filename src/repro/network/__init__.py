@@ -18,9 +18,12 @@ deterministic CSV/JSON/markdown export:
 
 * :class:`NetworkTopology` / :class:`RouterNode` / :class:`Link` —
   frozen topology specs plus the generators ``single``, ``line``,
-  ``star``, ``mesh``, ``dumbbell``, ``fat_tree``.
+  ``star``, ``mesh``, ``dumbbell``, ``fat_tree`` (arbitrary even k)
+  and ``isp`` (seeded Waxman/hierarchical ISP graphs).
 * :class:`TrafficMatrix` / :class:`Demand` — demand matrices with
-  ``uniform`` / ``gravity`` / ``hotspot`` presets.
+  ``uniform`` / ``gravity`` / ``hotspot`` presets;
+  :class:`TraceDemand` samples measured scale series from trace files
+  and resamples them into :class:`~repro.control.demand.DemandSeries`.
 * :func:`route` / :class:`RoutingResult` — demand → link loads →
   per-port load vectors, with utilization validation.
 * :class:`NetworkSpec` / :class:`NetworkPowerModel` /
@@ -41,12 +44,14 @@ from repro.network.topology import (
     dumbbell,
     edge_nodes,
     fat_tree,
+    isp,
     line,
     mesh,
     single,
     star,
 )
 from repro.network.traffic_matrix import Demand, TrafficMatrix
+from repro.network.trace_demand import TraceDemand, TraceSample
 from repro.network.routing import (
     ROUTING_MODES,
     RoutingResult,
@@ -56,6 +61,7 @@ from repro.network.routing import (
     route,
 )
 from repro.network.power import (
+    DETAIL_LEVELS,
     LINK_COLUMNS,
     NODE_COLUMNS,
     NetworkPowerModel,
@@ -63,6 +69,7 @@ from repro.network.power import (
     NetworkSpec,
     render_network_report,
     run_network,
+    shard_bounds,
 )
 from repro.network.presets import (
     NETWORK_PRESETS,
@@ -82,9 +89,12 @@ __all__ = [
     "mesh",
     "dumbbell",
     "fat_tree",
+    "isp",
     "edge_nodes",
     "Demand",
     "TrafficMatrix",
+    "TraceDemand",
+    "TraceSample",
     "ROUTING_MODES",
     "RoutingResult",
     "RoutingTables",
@@ -96,6 +106,8 @@ __all__ = [
     "NetworkRecord",
     "NODE_COLUMNS",
     "LINK_COLUMNS",
+    "DETAIL_LEVELS",
+    "shard_bounds",
     "render_network_report",
     "run_network",
     "NETWORK_PRESETS",

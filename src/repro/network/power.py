@@ -55,6 +55,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: in :attr:`NetworkSpec.base`.
 _DERIVED_FIELDS = ("architecture", "ports", "load", "tech", "name")
 
+#: Valid values of the ``detail`` retention knob (what the runtime-only
+#: :attr:`NetworkRecord.detail` payload keeps after aggregation).
+DETAIL_LEVELS = ("none", "summary", "full")
+
+
+def shard_bounds(count: int, shards: int | None) -> list[tuple[int, int]]:
+    """Contiguous ``(start, stop)`` shard boundaries over ``count`` items.
+
+    Shards partition the per-router scenario list *in node order* into
+    near-equal contiguous chunks (sizes differ by at most one, larger
+    chunks first).  Contiguity is what makes sharded execution
+    bit-identical to the monolithic path: the streaming fold consumes
+    results in exactly the same node order either way, so every float
+    accumulation happens in the same order.  ``shards=None`` means one
+    shard (the monolithic path); empty shards are dropped.
+    """
+    if count < 0:
+        raise ConfigurationError("shard_bounds needs a count >= 0")
+    n = 1 if shards is None else shards
+    if n < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards!r}")
+    n = min(n, count) if count else 1
+    base, rem = divmod(count, n)
+    bounds = []
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < rem else 0)
+        if size:
+            bounds.append((start, start + size))
+        start += size
+    return bounds
+
 #: Per-node CSV columns of :meth:`NetworkRecord.to_csv` (axis columns
 #: first, then metrics — the ComparisonRecord convention).
 NODE_COLUMNS = (
@@ -503,6 +535,8 @@ class NetworkPowerModel:
         journal: "CampaignJournal | None" = None,
         faults: FaultPlan | None = None,
         report: BatchReport | None = None,
+        shards: int | None = None,
+        detail: str = "full",
     ) -> NetworkRecord:
         """Execute the spec into a :class:`NetworkRecord`.
 
@@ -514,7 +548,10 @@ class NetworkPowerModel:
         uniform topology (one fabric type, one port count) fuse into a
         single multi-scenario slot loop.  A record with failures
         (explicit holes) is never figure-cached — a later clean run
-        must not be served the holes.
+        must not be served the holes.  ``shards`` / ``detail`` stream
+        the aggregation (see :meth:`run_routed`); neither affects the
+        exported record, so figure-store entries are shared across
+        execution strategies.
         """
         if figures is not None:
             cached = figures.get(spec.content_hash(), "network")
@@ -532,6 +569,8 @@ class NetworkPowerModel:
             journal=journal,
             faults=faults,
             report=report,
+            shards=shards,
+            detail=detail,
         )
         if figures is not None and not record.failures:
             figures.put(spec.content_hash(), "network", record.to_dict())
@@ -549,6 +588,8 @@ class NetworkPowerModel:
         journal: "CampaignJournal | None" = None,
         faults: FaultPlan | None = None,
         report: BatchReport | None = None,
+        shards: int | None = None,
+        detail: str = "full",
     ) -> NetworkRecord:
         """Execute the spec under an externally supplied routing.
 
@@ -557,75 +598,112 @@ class NetworkPowerModel:
         port map, and evaluates the result here — same per-router
         scenarios, same ``run_batch`` caches, no figure-store entry
         (the routing is not derivable from the spec alone).
+
+        ``shards`` partitions the per-router scenario grid into that
+        many contiguous node-order chunks, each executed as its own
+        :meth:`~repro.api.PowerModel.run_batch` call and folded into
+        the record incrementally (:class:`_NetworkFold`), so peak
+        memory stays bounded by the largest shard rather than the
+        topology size.  Exports are bit-identical to the monolithic
+        path by construction.  Note that :class:`FaultPlan` unit
+        indices are per ``run_batch`` call, so under sharding a fault
+        at unit 0 targets the first execution unit of *every* shard.
+
+        ``detail`` controls what the runtime-only
+        :attr:`NetworkRecord.detail` payload retains: ``"full"`` (the
+        default, today's behavior) keeps every per-router
+        :class:`RunRecord` plus the routing; ``"summary"`` keeps only
+        the routing; ``"none"`` keeps nothing — the knob that lets a
+        1000-router streamed run drop each shard's records as soon as
+        they are folded.
         """
         pairs = self.scenarios(spec, routing)
+        fold = _NetworkFold(spec, routing, detail=detail)
         batch_report = report if report is not None else BatchReport()
-        before = len(batch_report.failures)
-        records = self.session.run_batch(
-            [scenario for _, scenario in pairs],
-            workers=workers,
-            executor=executor,
-            store=store,
-            strategy=strategy,
-            retry=retry,
-            journal=journal,
-            faults=faults,
-            report=batch_report,
-        )
-        by_node = {name: rec for (name, _), rec in zip(pairs, records)}
-        return self._aggregate(
-            spec,
-            routing,
-            by_node,
-            failures=batch_report.failures[before:],
-        )
+        nodes = spec.topology.nodes
+        for start, stop in shard_bounds(len(pairs), shards):
+            before = len(batch_report.failures)
+            records = self.session.run_batch(
+                [scenario for _, scenario in pairs[start:stop]],
+                workers=workers,
+                executor=executor,
+                store=store,
+                strategy=strategy,
+                retry=retry,
+                journal=journal,
+                faults=faults,
+                report=batch_report,
+            )
+            for node, rec in zip(nodes[start:stop], records):
+                fold.add(node, rec)
+            fold.add_failures(batch_report.failures[before:])
+        return fold.finish()
 
-    # ------------------------------------------------------------------
-    # Aggregation
-    # ------------------------------------------------------------------
 
-    def _aggregate(
+class _NetworkFold:
+    """Streaming aggregation of per-router results into one record.
+
+    Both the monolithic and the sharded execution paths push their
+    :class:`RunRecord` results through this fold in topology node
+    order, so every float accumulation (fabric/port totals, node rows)
+    happens in exactly the same order — byte-identical exports are a
+    property of the fold, not of the execution strategy.  Per-router
+    records are retained only under ``detail="full"``; otherwise each
+    record is dropped as soon as its row is folded, which is what keeps
+    a streamed 1000-router run's peak memory bounded.
+    """
+
+    def __init__(
         self,
         spec: NetworkSpec,
         routing: RoutingResult,
-        by_node: dict[str, "RunRecord | None"],
-        failures: list[FailureRecord] | None = None,
-    ) -> NetworkRecord:
-        node_rows = []
-        fabric_total = 0.0
-        port_total = 0.0
-        powered_total = 0
-        for node in spec.topology.nodes:
-            rec = by_node[node.name]
-            active = routing.active_ports[node.name]
-            powered = sum(active) if spec.switch_off else node.ports
-            port_power = powered * spec.port_power_w
-            loads = routing.ingress_loads[node.name]
-            if rec is None:
-                # A supervisor-recorded failure: an explicit hole — the
-                # row keeps its topology-derived columns, fabric
-                # metrics stay None, and the totals cover only
-                # completed routers (the failures list says which).
-                node_rows.append(
-                    {
-                        "node": node.name,
-                        "architecture": node.architecture,
-                        "ports": node.ports,
-                        "powered_ports": powered,
-                        "mean_load": sum(loads) / len(loads),
-                        "throughput": None,
-                        "fabric_power_w": None,
-                        "switch_power_w": None,
-                        "wire_power_w": None,
-                        "buffer_power_w": None,
-                        "port_power_w": port_power,
-                        "power_w": None,
-                    }
-                )
-                port_total += port_power
-                powered_total += powered
-                continue
-            node_rows.append(
+        detail: str = "full",
+    ) -> None:
+        if detail not in DETAIL_LEVELS:
+            raise ConfigurationError(
+                f"detail must be one of {DETAIL_LEVELS}, got {detail!r}"
+            )
+        self.spec = spec
+        self.routing = routing
+        self.detail = detail
+        self.node_rows: list[dict[str, Any]] = []
+        self.fabric_total = 0.0
+        self.port_total = 0.0
+        self.powered_total = 0
+        self.by_node: dict[str, "RunRecord | None"] | None = (
+            {} if detail == "full" else None
+        )
+        self.failures: list[FailureRecord] = []
+
+    def add(self, node: RouterNode, rec: "RunRecord | None") -> None:
+        """Fold one router's result (``None`` = supervisor-recorded
+        failure: an explicit hole — the row keeps its topology-derived
+        columns, fabric metrics stay None, and the totals cover only
+        completed routers; the failures list says which)."""
+        spec, routing = self.spec, self.routing
+        active = routing.active_ports[node.name]
+        powered = sum(active) if spec.switch_off else node.ports
+        port_power = powered * spec.port_power_w
+        loads = routing.ingress_loads[node.name]
+        if rec is None:
+            self.node_rows.append(
+                {
+                    "node": node.name,
+                    "architecture": node.architecture,
+                    "ports": node.ports,
+                    "powered_ports": powered,
+                    "mean_load": sum(loads) / len(loads),
+                    "throughput": None,
+                    "fabric_power_w": None,
+                    "switch_power_w": None,
+                    "wire_power_w": None,
+                    "buffer_power_w": None,
+                    "port_power_w": port_power,
+                    "power_w": None,
+                }
+            )
+        else:
+            self.node_rows.append(
                 {
                     "node": node.name,
                     "architecture": node.architecture,
@@ -641,9 +719,17 @@ class NetworkPowerModel:
                     "power_w": rec.total_power_w + port_power,
                 }
             )
-            fabric_total += rec.total_power_w
-            port_total += port_power
-            powered_total += powered
+            self.fabric_total += rec.total_power_w
+        self.port_total += port_power
+        self.powered_total += powered
+        if self.by_node is not None:
+            self.by_node[node.name] = rec
+
+    def add_failures(self, failures: list[FailureRecord]) -> None:
+        self.failures.extend(failures)
+
+    def finish(self) -> NetworkRecord:
+        spec, routing = self.spec, self.routing
         # Per-link rows: interface power of the cable's endpoint ports,
         # split across the directed links sharing the cable so link
         # powers sum without double counting, plus the directed link's
@@ -693,15 +779,17 @@ class NetworkPowerModel:
         )
         utils = [row["utilization"] for row in link_rows]
         totals = {
-            "power_w": fabric_total + port_total + propagation_total,
-            "fabric_power_w": fabric_total,
-            "port_power_w": port_total,
+            "power_w": (
+                self.fabric_total + self.port_total + propagation_total
+            ),
+            "fabric_power_w": self.fabric_total,
+            "port_power_w": self.port_total,
             "propagation_power_w": propagation_total,
             "switch_off_delta_w": delta,
-            "nodes": len(node_rows),
+            "nodes": len(self.node_rows),
             "links": len(link_rows),
             "total_ports": total_ports,
-            "powered_ports": powered_total,
+            "powered_ports": self.powered_total,
             "idle_ports": idle_ports,
             "total_demand": spec.matrix.total(),
             "total_link_load": routing.total_link_load,
@@ -710,13 +798,22 @@ class NetworkPowerModel:
             ),
             "max_link_utilization": max(utils) if utils else 0.0,
         }
+        if self.detail == "full":
+            detail_payload: Any = {
+                "records": self.by_node,
+                "routing": routing,
+            }
+        elif self.detail == "summary":
+            detail_payload = {"routing": routing}
+        else:
+            detail_payload = None
         return NetworkRecord(
             spec=spec,
-            nodes=node_rows,
+            nodes=self.node_rows,
             links=link_rows,
             totals=totals,
-            detail={"records": by_node, "routing": routing},
-            failures=list(failures) if failures else [],
+            detail=detail_payload,
+            failures=self.failures,
         )
 
 
@@ -732,6 +829,8 @@ def run_network(
     journal: "CampaignJournal | None" = None,
     faults: FaultPlan | None = None,
     report: BatchReport | None = None,
+    shards: int | None = None,
+    detail: str = "full",
 ) -> NetworkRecord:
     """Execute a network spec (or preset name) into a record.
 
@@ -740,7 +839,9 @@ def run_network(
     cached figures per scale never collide.
     ``retry``/``journal``/``faults``/``report`` supervise the
     underlying batch exactly as in
-    :meth:`repro.api.PowerModel.run_batch`.
+    :meth:`repro.api.PowerModel.run_batch`.  ``shards``/``detail``
+    stream the aggregation without changing any exported byte (see
+    :meth:`NetworkPowerModel.run_routed`).
     """
     if isinstance(spec, str):
         from repro.network.presets import get_network
@@ -758,6 +859,8 @@ def run_network(
         journal=journal,
         faults=faults,
         report=report,
+        shards=shards,
+        detail=detail,
     )
 
 

@@ -13,6 +13,13 @@ dumbbell_switchoff a 3+3 dumbbell where every left leaf sends to one right
                    policy powers down every idle port.
 mesh4_ecmp         a 4-router full mesh under a gravity matrix with ECMP —
                    multipath spreading on the smallest interesting graph.
+fat_tree_k8        the 80-switch k=8 fat-tree under a sparse edge-ring
+                   matrix, ECMP-routed on the analytical backend — the
+                   first rung of the scale ladder.
+fat_tree_k16       the 320-switch k=16 fat-tree, same shape one rung up —
+                   the sharded-execution / streaming-aggregation reference.
+isp200_ring        a 200-router seeded Waxman/hierarchical ISP graph under
+                   a sparse edge-ring matrix — the ISP-scale reference.
 =================  ==========================================================
 
 ``repro network list`` prints this registry; ``repro network run NAME``
@@ -24,12 +31,40 @@ from __future__ import annotations
 from repro.errors import ConfigurationError
 
 from repro.network.power import NetworkSpec
-from repro.network.topology import dumbbell, edge_nodes, fat_tree, mesh, single
+from repro.network.topology import (
+    dumbbell,
+    edge_nodes,
+    fat_tree,
+    isp,
+    mesh,
+    single,
+)
 from repro.network.traffic_matrix import Demand, TrafficMatrix
 
 #: Shared measurement window of the presets (kept small enough that a
 #: whole fat-tree run stays interactive; seeds mirror the fig9 grids).
 _BASE = dict(arrival_slots=400, warmup_slots=80, seed=2002)
+
+#: The scale presets run the closed-form analytical backend: a
+#: 320-router simulate sweep is a benchmark, not a preset, while the
+#: estimate backend keeps even the k=16 fabric interactive.
+_SCALE_BASE = dict(_BASE, backend="estimate")
+
+
+def _ring_matrix(
+    endpoints: tuple[str, ...], demand: float, name: str
+) -> TrafficMatrix:
+    """Each endpoint sends ``demand`` to the next one (cyclic, in node
+    order) — an O(n) matrix, the scale-preset alternative to the O(n^2)
+    all-pairs uniform workload."""
+    n = len(endpoints)
+    return TrafficMatrix(
+        tuple(
+            Demand(endpoints[i], endpoints[(i + 1) % n], demand)
+            for i in range(n)
+        ),
+        name=name,
+    )
 
 
 def _single_crossbar8() -> NetworkSpec:
@@ -86,12 +121,48 @@ def _mesh4_ecmp() -> NetworkSpec:
     )
 
 
+def _fat_tree_scale(k: int, demand: float) -> NetworkSpec:
+    topology = fat_tree(k)
+    edges = edge_nodes(topology)
+    return NetworkSpec(
+        name=f"fat_tree_k{k}",
+        topology=topology,
+        matrix=_ring_matrix(edges, demand, name="edge_ring"),
+        routing="ecmp",
+        base=_SCALE_BASE,
+    )
+
+
+def _fat_tree_k8() -> NetworkSpec:
+    return _fat_tree_scale(8, 0.4)
+
+
+def _fat_tree_k16() -> NetworkSpec:
+    return _fat_tree_scale(16, 0.4)
+
+
+def _isp200_ring() -> NetworkSpec:
+    topology = isp(200, seed=2002)
+    edges = edge_nodes(topology)
+    # The ring concentrates on the Waxman backbone; 0.02 cells/slot per
+    # pair keeps every seeded link comfortably below line rate.
+    return NetworkSpec(
+        name="isp200_ring",
+        topology=topology,
+        matrix=_ring_matrix(edges, 0.02, name="edge_ring"),
+        base=_SCALE_BASE,
+    )
+
+
 #: Factories for the named network presets.
 NETWORK_PRESETS = {
     "single_crossbar8": _single_crossbar8,
     "fat_tree_k4": _fat_tree_k4,
     "dumbbell_switchoff": _dumbbell_switchoff,
     "mesh4_ecmp": _mesh4_ecmp,
+    "fat_tree_k8": _fat_tree_k8,
+    "fat_tree_k16": _fat_tree_k16,
+    "isp200_ring": _isp200_ring,
 }
 
 

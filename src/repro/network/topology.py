@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
+import random
 from dataclasses import dataclass, fields, replace
 from typing import Any, Mapping
 
@@ -220,11 +222,20 @@ class NetworkTopology:
     # Derived structure
     # ------------------------------------------------------------------
 
+    def _node_index(self) -> dict[str, RouterNode]:
+        # Lazy cache on the frozen instance: at thousands of nodes the
+        # linear scan turns aggregation loops quadratic.
+        index = self.__dict__.get("_node_index_cache")
+        if index is None:
+            index = {node.name: node for node in self.nodes}
+            object.__setattr__(self, "_node_index_cache", index)
+        return index
+
     def node(self, name: str) -> RouterNode:
-        for node in self.nodes:
-            if node.name == name:
-                return node
-        raise ConfigurationError(f"unknown node {name!r}")
+        try:
+            return self._node_index()[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {name!r}") from None
 
     @property
     def node_names(self) -> tuple[str, ...]:
@@ -238,7 +249,13 @@ class NetworkTopology:
         declared with its links in any order maps to identical port
         assignments.  The remainder are access ports.  Raises if any
         node's cables exceed its port count.
+
+        The result is cached on the instance (topologies are frozen);
+        callers must treat it as read-only.
         """
+        cached = self.__dict__.get("_port_map_cache")
+        if cached is not None:
+            return cached
         peers: dict[str, set[str]] = {n.name: set() for n in self.nodes}
         for link in self.links:
             peers[link.src].add(link.dst)
@@ -259,6 +276,7 @@ class NetworkTopology:
                 peer_port=tuple(assignment[node.name].items()),
                 access_ports=tuple(range(used, node.ports)),
             )
+        object.__setattr__(self, "_port_map_cache", out)
         return out
 
     def out_neighbors(self) -> dict[str, tuple[str, ...]]:
@@ -268,11 +286,18 @@ class NetworkTopology:
             adj[link.src].append(link.dst)
         return {name: tuple(peers) for name, peers in adj.items()}
 
+    def _link_index(self) -> dict[tuple[str, str], Link]:
+        index = self.__dict__.get("_link_index_cache")
+        if index is None:
+            index = {(link.src, link.dst): link for link in self.links}
+            object.__setattr__(self, "_link_index_cache", index)
+        return index
+
     def link(self, src: str, dst: str) -> Link:
-        for link in self.links:
-            if link.src == src and link.dst == dst:
-                return link
-        raise ConfigurationError(f"no link {src!r} -> {dst!r}")
+        try:
+            return self._link_index()[(src, dst)]
+        except KeyError:
+            raise ConfigurationError(f"no link {src!r} -> {dst!r}") from None
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -484,6 +509,125 @@ def fat_tree(
     return NetworkTopology(name or f"fat_tree_k{k}", tuple(nodes), tuple(links))
 
 
+def isp(
+    n: int = 100,
+    seed: int = 2002,
+    degree: float = 3.0,
+    core_fraction: float = 0.1,
+    alpha: float = 0.4,
+    beta: float = 0.25,
+    access_ports: int = 1,
+    capacity: float = 1.0,
+    core_capacity: float = 1.0,
+    architecture: str = "crossbar",
+    tech: str = "0.18um",
+    name: str | None = None,
+) -> NetworkTopology:
+    """A seeded Topology-Zoo/Rocketfuel-style ISP graph.
+
+    Two tiers: the first ``round(n * core_fraction)`` routers form a
+    backbone core (``core0..``), the rest are edge PoPs (``edge0..``)
+    that carry the access ports.  Construction is deterministic in
+    ``seed`` and bounded — O(n + cables) work, never a quadratic scan:
+
+    1. Routers are placed uniformly at random on the unit square.
+    2. A random spanning tree guarantees connectivity (router ``i``
+       attaches to a random earlier router, core routers preferring
+       core parents — the hierarchical flavor).
+    3. Extra cables are added up to an average ``degree`` target using
+       the Waxman acceptance probability
+       ``alpha * exp(-dist / (beta * sqrt(2)))``, so short links
+       dominate the way they do in real ISP maps.
+
+    Port counts are sized to the realised cable degree, so the
+    generated topology always validates.  Core routers carry no
+    dedicated access ports (transit only), so :func:`edge_nodes`
+    returns the edge tier whenever every core realises two cables
+    (guaranteed for ``n`` large enough to have two cores).
+    """
+    if n < 2:
+        raise ConfigurationError("an isp graph needs at least 2 routers")
+    if degree < 2.0:
+        raise ConfigurationError("isp degree target must be >= 2")
+    if not 0.0 <= core_fraction < 1.0:
+        raise ConfigurationError("core_fraction must be in [0, 1)")
+    if access_ports < 1:
+        raise ConfigurationError("isp edge routers need >= 1 access port")
+    rng = random.Random(seed)
+    n_core = min(max(1, round(n * core_fraction)), n - 1)
+    names = [f"core{i}" for i in range(n_core)] + [
+        f"edge{i}" for i in range(n - n_core)
+    ]
+    positions = [(rng.random(), rng.random()) for _ in range(n)]
+    cabled: set[tuple[int, int]] = set()
+    cables: list[tuple[int, int]] = []
+
+    def add_cable(u: int, v: int) -> None:
+        key = (min(u, v), max(u, v))
+        if key not in cabled:
+            cabled.add(key)
+            cables.append(key)
+
+    # 1 + 2: random spanning tree; cores prefer core parents so the
+    # backbone forms a connected hierarchy of its own.
+    for i in range(1, n):
+        if i < n_core:
+            add_cable(i, rng.randrange(i))
+        else:
+            add_cable(i, rng.randrange(min(i, max(n_core, i // 2 + 1))))
+    # 3: Waxman extras up to the average-degree target.  The attempt
+    # budget bounds construction time even when alpha is tiny.
+    target = max(0, round(n * degree / 2.0) - len(cables))
+    scale = beta * math.sqrt(2.0)
+    attempts = 0
+    while target > 0 and attempts < 50 * n:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or (min(u, v), max(u, v)) in cabled:
+            continue
+        (ux, uy), (vx, vy) = positions[u], positions[v]
+        dist = math.hypot(ux - vx, uy - vy)
+        accept = alpha * math.exp(-dist / scale)
+        if u < n_core and v < n_core:
+            accept = min(1.0, 2.0 * accept)  # denser backbone mesh
+        if rng.random() < accept:
+            add_cable(u, v)
+            target -= 1
+    # Transit cores need >= 2 cables (RouterNode's minimum port count);
+    # ring-close any degree-1 core onto the backbone so no core is left
+    # with a spare port that port_map() would turn into an access port.
+    if n_core >= 2:
+        deg = [0] * n
+        for u, v in cables:
+            deg[u] += 1
+            deg[v] += 1
+        for i in range(n_core):
+            j = (i + 1) % n_core
+            while deg[i] < 2 and j != i:
+                if (min(i, j), max(i, j)) not in cabled:
+                    add_cable(i, j)
+                    deg[i] += 1
+                    deg[j] += 1
+                j = (j + 1) % n_core
+    cable_degree = [0] * n
+    for u, v in cables:
+        cable_degree[u] += 1
+        cable_degree[v] += 1
+    nodes = []
+    for i in range(n):
+        extra = access_ports if i >= n_core else 0
+        ports = max(2, cable_degree[i] + extra)
+        nodes.append(RouterNode(names[i], ports, architecture, tech))
+    links: list[Link] = []
+    for u, v in cables:
+        cap = core_capacity if (u < n_core and v < n_core) else capacity
+        links.extend(_both(names[u], names[v], cap))
+    return NetworkTopology(
+        name or f"isp{n}_s{seed}", tuple(nodes), tuple(links)
+    )
+
+
 #: Generator registry (used by spec files that name a shape).
 GENERATORS = {
     "single": single,
@@ -492,6 +636,7 @@ GENERATORS = {
     "mesh": mesh,
     "dumbbell": dumbbell,
     "fat_tree": fat_tree,
+    "isp": isp,
 }
 
 
