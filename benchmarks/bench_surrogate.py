@@ -1,0 +1,312 @@
+"""Surrogate serving gate: accurate, fast, and honest about fallback.
+
+Trains the :mod:`repro.surrogate` model on the Fig. 9 envelope (all
+four fabrics x {16, 32} ports x loads 0.10-0.50, preset-length runs)
+and gates three promises of the serving layer:
+
+* **accuracy** — median relative total-power error on the held-out
+  validation slice is at most 2%;
+* **speed** — an in-distribution ``predict`` is at least 1000x faster
+  than a cold simulation of the same scenario, and the asyncio HTTP
+  server sustains at least 10k ``/predict`` requests per second over
+  pipelined keep-alive connections (memo-warm, the serving steady
+  state);
+* **honesty** — an out-of-distribution query falls back to the real
+  engine and returns a record byte-identical to a direct
+  ``session.run``, and ``/predict`` response bytes equal the
+  in-process ``Prediction.to_json()``.
+
+Run as a script (what CI does) to write the machine-readable artifact::
+
+    PYTHONPATH=src python benchmarks/bench_surrogate.py \
+        --output BENCH_surrogate.json
+
+or through pytest alongside the other benches::
+
+    pytest benchmarks/bench_surrogate.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import PowerModel, RunRecordStore, Scenario
+from repro.core.estimator import ARCHITECTURES
+from repro.surrogate import (
+    SurrogatePredictor,
+    SurrogateServer,
+    check_drift,
+    extract_dataset,
+    train_surrogate,
+)
+
+PORTS = (16, 32)
+LOADS = tuple(round(0.10 + 0.05 * i, 2) for i in range(9))
+PROBE_LOADS = (0.17, 0.23, 0.33, 0.41, 0.47)
+SEED = 2002
+ERROR_GATE = 0.02
+SPEEDUP_GATE = 1000.0
+SERVER_QPS_GATE = 10_000.0
+
+
+def build_corpus(workdir: Path, slots: int, warmup: int) -> RunRecordStore:
+    grid = Scenario.grid(
+        architectures=ARCHITECTURES,
+        ports=PORTS,
+        loads=LOADS,
+        arrival_slots=slots,
+        warmup_slots=warmup,
+        seed=SEED,
+    )
+    store = RunRecordStore(workdir / "records.jsonl")
+    PowerModel().run_batch(grid, workers=4, store=store)
+    return store
+
+
+def probe_queries(slots: int, warmup: int) -> list[Scenario]:
+    """Off-grid what-if queries inside the trained load range."""
+    return [
+        Scenario(
+            arch,
+            ports,
+            load,
+            arrival_slots=slots,
+            warmup_slots=warmup,
+            seed=SEED,
+        )
+        for arch in ARCHITECTURES
+        for ports in PORTS
+        for load in PROBE_LOADS
+    ]
+
+
+def measure_predict(
+    predictor: SurrogatePredictor, queries: list[Scenario], n: int = 20_000
+) -> float:
+    """Steady-state in-process predictions per second over ``queries``."""
+    for query in queries:  # warm
+        predictor.predict(query)
+    start = time.perf_counter()
+    for i in range(n):
+        predictor.predict(queries[i % len(queries)])
+    return n / (time.perf_counter() - start)
+
+
+def measure_cold_sim(scenario: Scenario, repeats: int = 3) -> float:
+    """Median seconds for a from-scratch simulation of ``scenario``."""
+    times = []
+    for _ in range(repeats):
+        session = PowerModel()
+        start = time.perf_counter()
+        session.run(scenario)
+        times.append(time.perf_counter() - start)
+    return sorted(times)[len(times) // 2]
+
+
+def fallback_identical(
+    model, store: RunRecordStore, slots: int, warmup: int
+) -> bool:
+    """OOD fallback record == direct session.run, byte for byte."""
+    ood = Scenario(
+        "crossbar",
+        16,
+        0.8,
+        arrival_slots=slots,
+        warmup_slots=warmup,
+        seed=SEED + 1,
+    )
+    predictor = SurrogatePredictor(model, store=store)
+    prediction = predictor.predict(ood)
+    direct = PowerModel().run(ood)
+
+    def canon(record):
+        data = record.to_cache_dict()
+        data.pop("elapsed_s", None)
+        return json.dumps(data, sort_keys=True)
+
+    return (
+        prediction.source == "fallback"
+        and prediction.record is not None
+        and canon(prediction.record) == canon(direct)
+    )
+
+
+async def measure_server(
+    model, queries: list[Scenario], per_client: int = 2000, clients: int = 4
+) -> tuple[float, bool]:
+    """(memo-warm pipelined req/s, /predict bytes == in-process bytes)."""
+    server = SurrogateServer(SurrogatePredictor(model), port=0)
+    await server.start()
+    bodies = [json.dumps(q.to_dict()).encode() for q in queries]
+    requests = [
+        b"POST /predict HTTP/1.1\r\nHost: bench\r\nContent-Length: "
+        + str(len(body)).encode()
+        + b"\r\n\r\n"
+        + body
+        for body in bodies
+    ]
+
+    async def read_response(reader) -> bytes:
+        head = await reader.readuntil(b"\r\n\r\n")
+        length = next(
+            int(line.split(b":")[1])
+            for line in head.split(b"\r\n")
+            if line.lower().startswith(b"content-length")
+        )
+        return await reader.readexactly(length)
+
+    async def client(n: int, offset: int) -> None:
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port
+        )
+        done = 0
+        while done < n:
+            chunk = min(50, n - done)
+            writer.write(
+                b"".join(
+                    requests[(offset + done + j) % len(requests)]
+                    for j in range(chunk)
+                )
+            )
+            await writer.drain()
+            for _ in range(chunk):
+                await read_response(reader)
+            done += chunk
+        writer.close()
+
+    await client(len(requests), 0)  # warm pass populates the memo
+    start = time.perf_counter()
+    await asyncio.gather(
+        *[client(per_client, i * 7) for i in range(clients)]
+    )
+    qps = per_client * clients / (time.perf_counter() - start)
+
+    reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+    writer.write(requests[0])
+    await writer.drain()
+    body = await read_response(reader)
+    local = SurrogatePredictor(model).predict(queries[0])
+    identical = body == local.to_json().encode()
+    writer.close()
+    await server.stop()
+    return qps, identical
+
+
+def run_benchmark(slots: int = 800, warmup: int = 160) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench_surrogate_") as tmp:
+        workdir = Path(tmp)
+        start = time.perf_counter()
+        store = build_corpus(workdir, slots, warmup)
+        corpus_seconds = time.perf_counter() - start
+
+        model = train_surrogate(extract_dataset(store.path))
+        drift = check_drift(model, store.path, tolerance=ERROR_GATE)
+
+        predictor = SurrogatePredictor(model, store=store)
+        candidates = probe_queries(slots, warmup)
+        served = [
+            q
+            for q in candidates
+            if predictor.predict(q).source == "surrogate"
+        ]
+        predict_qps = measure_predict(
+            SurrogatePredictor(model, store=store), served
+        )
+        cold_seconds = measure_cold_sim(served[0])
+        speedup = cold_seconds * predict_qps
+
+        identical = fallback_identical(model, store, slots, warmup)
+        server_qps, bytes_identical = asyncio.run(
+            measure_server(model, served)
+        )
+
+    return {
+        "benchmark": "surrogate",
+        "architectures": list(ARCHITECTURES),
+        "ports": list(PORTS),
+        "loads": list(LOADS),
+        "seed": SEED,
+        "arrival_slots": slots,
+        "warmup_slots": warmup,
+        "python": platform.python_version(),
+        "corpus_records": len(ARCHITECTURES) * len(PORTS) * len(LOADS),
+        "corpus_seconds": round(corpus_seconds, 2),
+        "curves": model.n_curves,
+        "train_rows": model.n_train,
+        "holdout_rows": model.n_holdout,
+        "holdout_checked": drift.checked,
+        "median_rel_error": round(drift.median_rel_error, 6),
+        "max_rel_error": round(drift.max_rel_error, 6),
+        "error_gate": ERROR_GATE,
+        "probe_queries": len(candidates),
+        "surrogate_served": len(served),
+        "predict_qps": round(predict_qps),
+        "cold_sim_ms": round(cold_seconds * 1e3, 2),
+        "speedup": round(speedup),
+        "speedup_gate": SPEEDUP_GATE,
+        "server_qps": round(server_qps),
+        "server_qps_gate": SERVER_QPS_GATE,
+        "fallback_identical": identical,
+        "predict_bytes_identical": bytes_identical,
+    }
+
+
+def gates_pass(report: dict) -> bool:
+    return (
+        report["median_rel_error"] <= report["error_gate"]
+        and report["speedup"] >= report["speedup_gate"]
+        and report["server_qps"] >= report["server_qps_gate"]
+        and report["fallback_identical"]
+        and report["predict_bytes_identical"]
+    )
+
+
+def test_surrogate_gates():
+    """Pytest entry: accuracy, speedup, server qps, byte-identity."""
+    report = run_benchmark()
+    print()
+    print(json.dumps(report, indent=2))
+    assert report["median_rel_error"] <= ERROR_GATE, (
+        f"median holdout error {report['median_rel_error']:.2%} exceeds "
+        f"the {ERROR_GATE:.0%} gate"
+    )
+    assert report["speedup"] >= SPEEDUP_GATE, (
+        f"surrogate speedup {report['speedup']}x below the "
+        f"{SPEEDUP_GATE:.0f}x gate"
+    )
+    assert report["server_qps"] >= SERVER_QPS_GATE, (
+        f"server throughput {report['server_qps']} req/s below the "
+        f"{SERVER_QPS_GATE:.0f} req/s gate"
+    )
+    assert report["fallback_identical"], (
+        "OOD fallback record diverged from a direct session.run"
+    )
+    assert report["predict_bytes_identical"], (
+        "/predict response bytes diverged from in-process predict()"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default="BENCH_surrogate.json", help="report path"
+    )
+    parser.add_argument("--slots", type=int, default=800)
+    parser.add_argument("--warmup", type=int, default=160)
+    args = parser.parse_args(argv)
+    report = run_benchmark(slots=args.slots, warmup=args.warmup)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0 if gates_pass(report) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

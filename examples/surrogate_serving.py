@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Surrogate-serving walkthrough: result cache → model → instant queries.
+
+Runs a small simulation grid into a JSONL result cache, trains the
+polynomial surrogate from it, answers what-if queries in-process (in
+microseconds, with an uncertainty band), shows the transparent
+out-of-distribution fallback to the real engines, checks the model for
+drift against an updated store, and serves the whole thing over the
+asyncio HTTP JSON API — querying it with a plain socket client.
+
+Run:  python examples/surrogate_serving.py
+"""
+
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import RunRecordStore, Scenario, default_session
+from repro.surrogate import (
+    SurrogatePredictor,
+    SurrogateServer,
+    check_drift,
+    extract_dataset,
+    train_surrogate,
+)
+from repro.surrogate.train import SurrogateModel
+from repro.units import to_mW
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="surrogate_serving_"))
+    store_path = workdir / "records.jsonl"
+
+    # ------------------------------------------------------------------
+    # 1. A training corpus: a simulated grid cached in a JSONL store.
+    # ------------------------------------------------------------------
+    grid = Scenario.grid(
+        architectures=("crossbar", "banyan"),
+        ports=(16,),
+        loads=tuple(round(0.10 + 0.05 * i, 2) for i in range(9)),
+        arrival_slots=400,
+        warmup_slots=80,
+        seed=2002,
+    )
+    store = RunRecordStore(store_path)
+    default_session().run_batch(grid, workers=4, store=store)
+    print(f"corpus: {len(grid)} simulated scenarios -> {store_path}")
+
+    # ------------------------------------------------------------------
+    # 2. Train: one log-load ridge curve per (context, ports) pair.
+    # ------------------------------------------------------------------
+    dataset = extract_dataset(store_path)
+    model = train_surrogate(dataset)
+    print(
+        f"model: {model.n_curves} curves, "
+        f"{model.n_train} train / {model.n_holdout} holdout rows, "
+        f"hash {model.content_hash()[:16]}"
+    )
+
+    # Models JSON round-trip bit-identically.
+    model_path = workdir / "model.json"
+    model.save(model_path)
+    assert SurrogateModel.load(model_path).to_json() == model.to_json()
+
+    # ------------------------------------------------------------------
+    # 3. Predict: microseconds in distribution, honest fallback outside.
+    # ------------------------------------------------------------------
+    predictor = SurrogatePredictor(model, store=store)
+
+    query = Scenario(
+        architecture="banyan", ports=16, load=0.33, backend="simulate",
+        arrival_slots=400, warmup_slots=80, seed=2002,
+    )
+    start = time.perf_counter()
+    prediction = predictor.predict(query)
+    micros = (time.perf_counter() - start) * 1e6
+    print(
+        f"in-distribution: {prediction.source} answered in "
+        f"{micros:.0f} us -> "
+        f"{to_mW(prediction.values['total_power_w']):.4f} mW "
+        f"(band {to_mW(prediction.band_w):.4f} mW)"
+    )
+
+    # Outside the trained load range the real engine runs instead; the
+    # returned record is byte-identical to a direct session.run.
+    ood = predictor.predict(query.replace(load=0.8))
+    print(
+        f"out-of-distribution: {ood.source} ({ood.reason}) -> "
+        f"{to_mW(ood.values['total_power_w']):.4f} mW, "
+        f"record throughput {ood.record.throughput:.3f}"
+    )
+    print(f"counters: {predictor.stats()}")
+
+    # ------------------------------------------------------------------
+    # 4. Drift: the fallback above grew the store, so the model is
+    #    stale; the held-out replay itself still agrees.
+    # ------------------------------------------------------------------
+    report = check_drift(model, store_path)
+    print(f"drift: {report.summary()}")
+    print(f"retrain recommended: {report.retrain}")
+
+    # ------------------------------------------------------------------
+    # 5. Serve it over HTTP and query it like a client would.
+    # ------------------------------------------------------------------
+    async def serve_and_query() -> None:
+        server = SurrogateServer(
+            SurrogatePredictor(model, store=store),
+            port=0,  # ephemeral port
+            journal=str(workdir / "requests.jsonl"),
+        )
+        await server.start()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port
+        )
+        body = json.dumps(query.to_dict()).encode()
+        writer.write(
+            b"POST /predict HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: " + str(len(body)).encode()
+            + b"\r\nConnection: close\r\n\r\n" + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        payload = json.loads(raw.partition(b"\r\n\r\n")[2])
+        print(
+            f"HTTP /predict on port {server.port}: "
+            f"{payload['source']} -> "
+            f"{to_mW(payload['total_power_w']):.4f} mW"
+        )
+        await server.stop()
+
+    asyncio.run(serve_and_query())
+    print(f"request journal: {workdir / 'requests.jsonl'}")
+
+
+if __name__ == "__main__":
+    main()

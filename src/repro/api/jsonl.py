@@ -108,6 +108,34 @@ def locked_rewrite(path: Path, payloads: Iterable[dict[str, Any]]) -> None:
         os.replace(tmp, path)
 
 
+def iter_verified_entries(path: Path | str | os.PathLike) -> Iterator[dict]:
+    """Stream the verified entries of a JSONL store, one at a time.
+
+    Read-only complement to the eager store loaders: yields each
+    parsed, checksum-verified line payload without building typed
+    records or holding more than one line in memory, so feature
+    extraction over multi-gigabyte stores stays O(1) in resident set.
+    Corrupt lines are skipped (no quarantine side effects — streaming
+    readers must not mutate a store they do not own).  A missing file
+    yields nothing.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                if not isinstance(entry, dict) or not verify_entry(entry):
+                    continue
+            except ValueError:
+                continue
+            yield entry
+
+
 def quarantine_path(path: Path) -> Path:
     """The sidecar file corrupt lines of ``path`` are moved into."""
     return path.with_name(path.name + ".quarantine")

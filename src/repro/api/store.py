@@ -40,6 +40,7 @@ from typing import Iterator
 from repro.errors import ConfigurationError
 
 from repro.api.jsonl import (
+    iter_verified_entries,
     locked_append,
     locked_rewrite,
     quarantine_line,
@@ -47,6 +48,26 @@ from repro.api.jsonl import (
 )
 from repro.api.records import RunRecord
 from repro.api.scenario import Scenario
+
+
+def iter_run_entries(
+    path: str | os.PathLike,
+) -> Iterator[tuple[str, dict]]:
+    """Stream ``(key, record-dict)`` pairs from a run-record store.
+
+    Unlike constructing a :class:`RunRecordStore` (which eagerly
+    materializes every line as a :class:`RunRecord`), this yields the
+    raw cache dicts one line at a time — the right primitive when a
+    consumer (e.g. surrogate training) only needs a handful of scalar
+    features per record.  Duplicate keys are yielded in file order;
+    last-wins deduplication, if wanted, is the consumer's fold.
+    Corrupt lines are skipped without quarantine side effects.
+    """
+    for entry in iter_verified_entries(path):
+        key = entry.get("key")
+        record = entry.get("record")
+        if isinstance(key, str) and isinstance(record, dict):
+            yield key, record
 
 
 class RunRecordStore:

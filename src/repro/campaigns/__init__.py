@@ -20,8 +20,9 @@ analytical-vs-simulated deltas and CSV/JSON/markdown export:
 * :func:`get_campaign` / :data:`PRESET_CAMPAIGNS` — the built-in
   presets (``fig9``, ``fig10``, ``table1``, ``table2``,
   ``fig9_vs_analytical``, the network kinds ``fat_tree_k4_sweep`` and
-  ``dumbbell_switchoff``, and the control kinds ``fat_tree_diurnal``
-  and ``dumbbell_sleep_sweep``).
+  ``dumbbell_switchoff``, the control kinds ``fat_tree_diurnal``
+  and ``dumbbell_sleep_sweep``, and the surrogate-scoring kind
+  ``fig9_surrogate``).
 * :func:`render_report` — paper-style text report of a record.
 * ``kind="network"`` campaigns sweep a :class:`repro.network`
   spec over demand scales (per-node rows under (scale, node) axes);
@@ -53,6 +54,8 @@ from repro.campaigns.runner import (
     NETWORK_AXES,
     NETWORK_METRICS,
     NETWORK_TOTAL_NODE,
+    SURROGATE_AXES,
+    SURROGATE_METRICS,
     campaign_plan,
     run_campaign,
 )
@@ -68,6 +71,8 @@ __all__ = [
     "CONTROL_AXES",
     "CONTROL_METRICS",
     "CONTROL_TOTAL_EPOCH",
+    "SURROGATE_AXES",
+    "SURROGATE_METRICS",
     "ComparisonRecord",
     "DerivedRecordStore",
     "PRESET_CAMPAIGNS",

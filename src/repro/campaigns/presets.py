@@ -19,6 +19,8 @@ fat_tree_diurnal    control  fat tree x 4-epoch diurnal demand,          control
                              green routing + sleep states                routing)
 dumbbell_sleep_sweep control dumbbell x 5-epoch step demand, rate        control-plane extension (sleep and
                              adaptation + sleep + 2-point SLA sweep      rate adaptation)
+fig9_surrogate      surrogate_eval  4 fabrics x {16,32} ports x 9 loads,  serving-layer extension (surrogate
+                             trained + scored with a held-out slice      accuracy on the Fig. 9 envelope)
 ==================  =======  ==========================================  =====================================
 
 See ``docs/REPRODUCING.md`` for the full figure/table <-> preset <->
@@ -137,6 +139,20 @@ def _dumbbell_sleep_sweep() -> Campaign:
     )
 
 
+def _fig9_surrogate() -> Campaign:
+    """The fig9 envelope scored through the surrogate layer."""
+    return Campaign(
+        name="fig9_surrogate",
+        kind="surrogate_eval",
+        title="Fig. 9 envelope — surrogate vs simulation error",
+        architectures=ARCHITECTURES,
+        ports=(16, 32),
+        loads=(0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50),
+        base=_BENCH_SLOTS,
+        params={"holdout_modulus": 4},
+    )
+
+
 #: Factories for the named campaign presets.
 PRESET_CAMPAIGNS = {
     "fig9": _fig9,
@@ -148,6 +164,7 @@ PRESET_CAMPAIGNS = {
     "dumbbell_switchoff": _dumbbell_switchoff,
     "fat_tree_diurnal": _fat_tree_diurnal,
     "dumbbell_sleep_sweep": _dumbbell_sleep_sweep,
+    "fig9_surrogate": _fig9_surrogate,
 }
 
 

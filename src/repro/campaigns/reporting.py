@@ -261,6 +261,63 @@ def _control_sections(record: ComparisonRecord) -> list[str]:
     return sections
 
 
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _surrogate_sections(record: ComparisonRecord) -> list[str]:
+    sections = []
+    rows = []
+    holdout_errors = []
+    ood_count = 0
+    for p in record.points:
+        if p["ood"]:
+            ood_count += 1
+        if (
+            p["split"] == "holdout"
+            and not p["ood"]
+            and p["rel_error"] is not None
+        ):
+            holdout_errors.append(p["rel_error"])
+            rows.append(
+                [
+                    p["architecture"],
+                    f"{p['ports']}x{p['ports']}",
+                    str(p["load"]),
+                    f"{to_mW(p['total_power_w']):.4f}",
+                    f"{to_mW(p['surrogate_power_w']):.4f}",
+                    f"{to_mW(p['band_w']):.4f}",
+                    f"{p['rel_error']:.2%}",
+                ]
+            )
+    sections.append(
+        format_table(
+            ["arch", "size", "load", "simulated mW", "surrogate mW",
+             "band mW", "rel error"],
+            rows,
+            title="held-out points — surrogate vs simulation",
+        )
+    )
+    train_points = sum(1 for p in record.points if p["split"] == "train")
+    summary = (
+        f"{len(record.points)} points ({train_points} train, "
+        f"{len(record.points) - train_points} holdout), "
+        f"{ood_count} out-of-distribution"
+    )
+    if holdout_errors:
+        summary += (
+            f"; in-distribution holdout rel error: median "
+            f"{_median(holdout_errors):.2%}, max {max(holdout_errors):.2%}"
+        )
+    sections.append(summary)
+    return sections
+
+
 def render_report(record: ComparisonRecord) -> str:
     """The full paper-style text report of one executed campaign."""
     campaign = record.campaign
@@ -275,6 +332,8 @@ def render_report(record: ComparisonRecord) -> str:
         sections = _network_sections(record)
     elif campaign.kind == "control":
         sections = _control_sections(record)
+    elif campaign.kind == "surrogate_eval":
+        sections = _surrogate_sections(record)
     else:
         sections = _grid_sections(record)
     return "\n\n".join([header] + sections)

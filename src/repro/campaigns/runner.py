@@ -24,6 +24,10 @@ through their dedicated models.
   (:class:`~repro.control.model.ControlModel`): per-epoch rows plus a
   series-total row, with per-epoch baselines and the whole
   :class:`~repro.control.record.ControlRecord` figure-cached.
+* ``surrogate_eval`` campaigns execute their grid like ``"grid"``,
+  train a :class:`~repro.surrogate.train.SurrogateModel` on the
+  completed records (held-out slice excluded) and score every point
+  surrogate-vs-simulation — the accuracy report behind ``repro serve``.
 
 Passing ``figures=`` (a :class:`~repro.api.figstore.
 DerivedRecordStore`) caches the *aggregated* record keyed by
@@ -114,6 +118,20 @@ CONTROL_METRICS = (
 #: The synthetic aggregate row's epoch name.
 CONTROL_TOTAL_EPOCH = "(total)"
 
+#: Axis / metric columns of a surrogate_eval campaign's points: the
+#: grid axes, plus per-point surrogate-vs-simulation scoring.
+SURROGATE_AXES = GRID_AXES
+SURROGATE_METRICS = (
+    "split",
+    "throughput",
+    "total_power_w",
+    "surrogate_power_w",
+    "band_w",
+    "abs_error_w",
+    "rel_error",
+    "ood",
+)
+
 _DEFAULT_TABLE2_PORTS = (4, 8, 16, 32, 64, 128)
 
 
@@ -194,7 +212,7 @@ def campaign_plan(campaign: Campaign) -> list[dict[str, Any]]:
     simulation) so an infeasible preset fails the dry-run, and reports
     each derived router's mean ingress load.
     """
-    if campaign.kind == "grid":
+    if campaign.kind in ("grid", "surrogate_eval"):
         return [_grid_axis_values(s) for s in campaign.scenarios()]
     if campaign.kind == "network":
         from repro.network.routing import route
@@ -406,6 +424,96 @@ def _run_grid(
     )
 
 
+def _run_surrogate_eval(
+    campaign: Campaign,
+    session: PowerModel,
+    workers: int | None,
+    executor: str,
+    store: RunRecordStore | None,
+    strategy: str = "auto",
+    retry: "RetryPolicy | None" = None,
+    journal: "CampaignJournal | None" = None,
+    faults: FaultPlan | None = None,
+    report: BatchReport | None = None,
+) -> ComparisonRecord:
+    """Execute the grid, train a surrogate on it, score every point.
+
+    The grid runs exactly like a ``"grid"`` campaign (cache, retry,
+    journal and fault semantics included).  The completed records then
+    train a :class:`~repro.surrogate.train.SurrogateModel` with a
+    1-in-``holdout_modulus`` held-out slice, and each point reports the
+    surrogate's total-power prediction next to the simulated truth —
+    ``split="holdout"`` rows are the honest generalisation measure
+    (the model never saw them), ``split="train"`` rows exercise the
+    exact-match memo (error 0 by construction).
+    """
+    from repro.surrogate.dataset import context_signature, dataset_from_records
+    from repro.surrogate.train import is_holdout_key, train_surrogate
+
+    batch_report = report if report is not None else BatchReport()
+    before = len(batch_report.failures)
+    records = session.run_batch(
+        campaign.scenarios(),
+        workers=workers,
+        executor=executor,
+        store=store,
+        strategy=strategy,
+        retry=retry,
+        journal=journal,
+        faults=faults,
+        report=batch_report,
+    )
+    completed = [r for r in records if r is not None]
+    params = campaign.params_dict
+    modulus = int(params.get("holdout_modulus", 4))
+    model = train_surrogate(
+        dataset_from_records(completed),
+        ridge_lambda=float(params.get("ridge_lambda", 1e-6)),
+        holdout_modulus=modulus,
+    )
+    points = []
+    for record in completed:
+        scenario = record.scenario
+        point = _grid_axis_values(scenario)
+        key = scenario.content_hash()
+        point["split"] = "holdout" if is_holdout_key(key, modulus) else "train"
+        point["throughput"] = record.throughput
+        point["total_power_w"] = record.total_power_w
+        data = scenario.to_dict()
+        load = data["load"]
+        if isinstance(load, list):
+            values, band, reason = None, None, "per-port load vector"
+        else:
+            values, band, reason = model.evaluate(
+                context_signature(data), float(load), scenario.ports
+            )
+        if values is None:
+            point["surrogate_power_w"] = None
+            point["band_w"] = None
+            point["abs_error_w"] = None
+            point["rel_error"] = None
+        else:
+            predicted = values["total_power_w"]
+            point["surrogate_power_w"] = predicted
+            point["band_w"] = band
+            point["abs_error_w"] = abs(predicted - record.total_power_w)
+            point["rel_error"] = (
+                point["abs_error_w"] / record.total_power_w
+                if record.total_power_w > 0.0
+                else None
+            )
+        point["ood"] = reason is not None
+        points.append(point)
+    return ComparisonRecord(
+        campaign=campaign,
+        axes=SURROGATE_AXES,
+        metrics=SURROGATE_METRICS,
+        points=points,
+        detail={"records": records, "model": model},
+        failures=list(batch_report.failures[before:]),
+    )
+
+
 def _run_table1(campaign: Campaign) -> ComparisonRecord:
     from repro.gatesim.characterize import regenerate_table1
 
@@ -557,6 +665,13 @@ def run_campaign(
     elif campaign.kind == "control":
         record = _run_control(
             campaign, session, workers, executor, store, figures,
+            retry=retry, journal=journal, faults=faults, report=report,
+        )
+    elif campaign.kind == "surrogate_eval":
+        if session is None:
+            session = default_session()
+        record = _run_surrogate_eval(
+            campaign, session, workers, executor, store, strategy,
             retry=retry, journal=journal, faults=faults, report=report,
         )
     else:

@@ -9,6 +9,8 @@ Commands
 ``campaign``   run/list/report declarative paper-reproduction campaigns.
 ``network``    run/list/report network-level aggregate power specs.
 ``control``    run/list/report energy-aware control-plane series.
+``surrogate``  train/evaluate the instant what-if surrogate model.
+``serve``      async HTTP what-if power API over a trained surrogate.
 ``table1``     regenerate Table 1 via gate-level characterisation.
 ``table2``     regenerate Table 2 via the SRAM model.
 
@@ -17,9 +19,12 @@ Commands
 ``campaign`` fronts :mod:`repro.campaigns` (whole figures/tables as one
 cached, parallel batch — see ``docs/REPRODUCING.md``), ``network``
 fronts :mod:`repro.network` (topology + traffic matrix + routing →
-aggregate router power) and ``control`` fronts :mod:`repro.control`
+aggregate router power), ``control`` fronts :mod:`repro.control`
 (demand over time + green routing + link power states → power vs time
-and savings vs SLA).  All commands share one
+and savings vs SLA), and ``surrogate``/``serve`` front
+:mod:`repro.surrogate` (calibrate a polynomial surrogate from a JSONL
+result cache, check it for drift, serve instant what-if queries over
+HTTP with a transparent simulation fallback).  All commands share one
 :class:`~repro.wire_modes.WireMode` vocabulary for ``--wire-mode``
 (``worst_case``/``expected``/``per_link``), translated per backend.
 
@@ -39,6 +44,9 @@ Examples
     python -m repro network report dumbbell_switchoff
     python -m repro control run fat_tree_diurnal --workers 4
     python -m repro control report dumbbell_sleep_sweep
+    python -m repro surrogate train records.jsonl --output model.json
+    python -m repro surrogate eval model.json records.jsonl
+    python -m repro serve model.json --port 8642 --cache records.jsonl
     python -m repro table2
 """
 
@@ -557,6 +565,120 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_control_exec(ctl_report)
 
+    surrogate = sub.add_parser(
+        "surrogate",
+        help="train/evaluate the instant what-if surrogate model",
+    )
+    surrogate_sub = surrogate.add_subparsers(dest="surrogate_command",
+                                             required=True)
+
+    train_p = surrogate_sub.add_parser(
+        "train",
+        help="calibrate a surrogate from a JSONL run-record cache",
+    )
+    train_p.add_argument(
+        "store",
+        help="JSONL result cache written by batch/campaign --cache "
+        "(the calibration corpus)",
+    )
+    train_p.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the trained model JSON here (default: print its "
+        "stats only)",
+    )
+    train_p.add_argument(
+        "--ridge-lambda",
+        type=float,
+        default=1e-6,
+        metavar="X",
+        help="ridge regularisation strength for the per-curve "
+        "polynomial fits",
+    )
+    train_p.add_argument(
+        "--holdout-modulus",
+        type=int,
+        default=4,
+        metavar="N",
+        help="hold out every record whose content-hash prefix is "
+        "0 mod N (the drift-detection slice; N >= 2)",
+    )
+
+    eval_p = surrogate_sub.add_parser(
+        "eval",
+        help="score a trained model against a store (drift check)",
+    )
+    eval_p.add_argument("model", help="trained surrogate model JSON")
+    eval_p.add_argument(
+        "store",
+        help="JSONL result cache to replay the held-out slice against",
+    )
+    eval_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        metavar="T",
+        help="median relative error above which the model counts as "
+        "drifted",
+    )
+    eval_p.add_argument(
+        "--fail-on-drift",
+        action="store_true",
+        help="exit 3 when the model drifted or the store hash moved "
+        "(for CI gates)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="async HTTP what-if power API over a trained surrogate",
+    )
+    serve.add_argument("model", help="trained surrogate model JSON")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="bind port (0 picks a free one; the bound port prints to "
+        "stderr)",
+    )
+    serve.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="JSONL result cache backing out-of-distribution fallback "
+        "simulations (served from and appended to)",
+    )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append-only JSONL request journal (one line per request)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a failing fallback simulation up to N more times "
+        "before degrading that request to a JSON 500",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-fallback-simulation wall-clock budget",
+    )
+    serve.add_argument(
+        "--drift-tolerance",
+        type=float,
+        default=0.05,
+        metavar="T",
+        help="relative model-vs-fallback disagreement above which the "
+        "online drift counter increments",
+    )
+
     t1 = sub.add_parser("table1", help="regenerate Table 1 (gate level)")
     t1.add_argument("--cycles", type=int, default=192)
 
@@ -723,7 +845,8 @@ def _campaign_store(args, campaign):
     (grid/network/control); table kinds do not run scenarios, so
     batch-only flags are called out instead of silently ignored (and no
     misleading cache stats get printed)."""
-    if campaign.kind not in ("grid", "network", "control"):
+    if campaign.kind not in ("grid", "network", "control",
+                             "surrogate_eval"):
         ignored = [
             flag
             for flag, given in (
@@ -909,7 +1032,8 @@ def cmd_campaign(args) -> int:
 
     campaign = _resolve_campaign(args.name)
 
-    scenario_kind = campaign.kind in ("grid", "network", "control")
+    scenario_kind = campaign.kind in ("grid", "network", "control",
+                                      "surrogate_eval")
 
     if args.campaign_command == "report":
         store = _campaign_store(args, campaign)
@@ -1283,6 +1407,109 @@ def cmd_control(args) -> int:
     return 0
 
 
+def cmd_surrogate(args) -> int:
+    from repro.surrogate import (
+        check_drift,
+        extract_dataset,
+        train_surrogate,
+    )
+    from repro.surrogate.train import SurrogateModel
+
+    if args.surrogate_command == "train":
+        dataset = extract_dataset(args.store)
+        model = train_surrogate(
+            dataset,
+            ridge_lambda=args.ridge_lambda,
+            holdout_modulus=args.holdout_modulus,
+        )
+        stats = model.stats()
+        rows = [[key, str(stats[key])] for key in sorted(stats)]
+        print(format_table(["field", "value"], rows,
+                           title=f"surrogate trained from {args.store}"))
+        if dataset.skipped:
+            print(f"note: {dataset.skipped} store entries were out of "
+                  "surrogate scope (vector loads, zero targets)",
+                  file=sys.stderr)
+        if args.output:
+            model.save(args.output)
+            print(f"model -> {args.output}", file=sys.stderr)
+        return 0
+
+    # eval
+    model = SurrogateModel.load(args.model)
+    report = check_drift(model, args.store, tolerance=args.tolerance)
+    print(report.summary())
+    if args.fail_on_drift and report.retrain:
+        return 3
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.surrogate import SurrogatePredictor, SurrogateServer
+    from repro.surrogate.train import SurrogateModel
+
+    model = SurrogateModel.load(args.model)
+    store = None
+    if args.cache:
+        from repro.api.store import RunRecordStore
+
+        store = RunRecordStore(args.cache)
+    retry = None
+    if args.retries is not None or args.timeout is not None:
+        if args.retries is not None and args.retries < 0:
+            raise ConfigurationError("--retries must be >= 0")
+        from repro.resilience import RetryPolicy
+
+        retry = RetryPolicy(
+            max_attempts=(args.retries or 0) + 1,
+            timeout_s=args.timeout,
+            on_failure="raise",
+        )
+    predictor = SurrogatePredictor(
+        model,
+        store=store,
+        retry=retry,
+        drift_tolerance=args.drift_tolerance,
+    )
+    server = SurrogateServer(
+        predictor, host=args.host, port=args.port, journal=args.journal
+    )
+
+    async def _main() -> None:
+        import signal
+
+        await server.start()
+        print(
+            f"serving surrogate {model.content_hash()[:16]} "
+            f"({model.n_curves} curves) on "
+            f"http://{server.host}:{server.port}",
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
+        # SIGTERM/SIGINT stop the accept loop cleanly so the request
+        # journal is flushed (a supervisor's `kill` must not lose
+        # buffered lines).
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
 def cmd_table1(args) -> int:
     from repro.gatesim.characterize import regenerate_table1
     from repro.units import to_fJ
@@ -1334,6 +1561,8 @@ _COMMANDS = {
     "campaign": cmd_campaign,
     "network": cmd_network,
     "control": cmd_control,
+    "surrogate": cmd_surrogate,
+    "serve": cmd_serve,
     "table1": cmd_table1,
     "table2": cmd_table2,
 }

@@ -255,26 +255,35 @@ class ControlModel:
                 if candidate["power_w"] < chosen["power_w"]:
                     chosen = candidate
             prev_asleep = chosen["asleep"]
-            rows.append(
-                {
-                    "epoch": epoch,
-                    "start_s": epoch * spec.series.epoch_seconds,
-                    "scale": scale,
-                    "total_demand": chosen["record"].totals["total_demand"],
-                    "config": chosen["config"],
-                    "links_up": chosen["links_up"],
-                    "links_asleep": chosen["links_asleep"],
-                    "powered_ports": chosen["powered_ports"],
-                    "max_link_utilization": chosen["max_link_utilization"],
-                    "fabric_power_w": chosen["fabric_power_w"],
-                    "port_power_w": chosen["port_power_w"],
-                    "propagation_power_w": chosen["propagation_power_w"],
-                    "transition_power_w": chosen["transition_power_w"],
-                    "power_w": chosen["power_w"],
-                    "fixed_power_w": fixed["power_w"],
-                    "savings_w": fixed["power_w"] - chosen["power_w"],
-                }
-            )
+            row = {
+                "epoch": epoch,
+                "start_s": epoch * spec.series.epoch_seconds,
+                "scale": scale,
+                "total_demand": chosen["record"].totals["total_demand"],
+                "config": chosen["config"],
+                "links_up": chosen["links_up"],
+                "links_asleep": chosen["links_asleep"],
+                "powered_ports": chosen["powered_ports"],
+                "max_link_utilization": chosen["max_link_utilization"],
+                "fabric_power_w": chosen["fabric_power_w"],
+                "port_power_w": chosen["port_power_w"],
+                "propagation_power_w": chosen["propagation_power_w"],
+                "transition_power_w": chosen["transition_power_w"],
+                "power_w": chosen["power_w"],
+                "fixed_power_w": fixed["power_w"],
+                "savings_w": fixed["power_w"] - chosen["power_w"],
+            }
+            if spec.grid_intensity_gco2_per_kwh:
+                # W x s -> J; J / 3.6e6 -> kWh; x gCO2/kWh -> gCO2.
+                # Only emitted when an intensity is configured, so
+                # existing exports stay byte-identical.
+                row["carbon_gco2"] = (
+                    chosen["power_w"]
+                    * spec.series.epoch_seconds
+                    / 3.6e6
+                    * spec.grid_intensity_gco2_per_kwh
+                )
+            rows.append(row)
             records.append(chosen["record"])
         return rows, records
 
@@ -406,6 +415,16 @@ class ControlModel:
             "mean_links_up": summary["mean_links_up"],
             "min_links_up": summary["min_links_up"],
         }
+        if spec.grid_intensity_gco2_per_kwh:
+            # J / 3.6e6 -> kWh; x gCO2/kWh -> gCO2 over the series.
+            totals["carbon_gco2"] = (
+                summary["energy_j"] / 3.6e6
+                * spec.grid_intensity_gco2_per_kwh
+            )
+            totals["fixed_carbon_gco2"] = (
+                summary["fixed_energy_j"] / 3.6e6
+                * spec.grid_intensity_gco2_per_kwh
+            )
         record = ControlRecord(
             spec=spec,
             epochs=rows,

@@ -70,6 +70,12 @@ class ControlSpec:
         Energy cost of one interface pair entering (pre-paying the
         later wake-up of) a sleep state, charged once per transition
         and spread over the epoch.
+    grid_intensity_gco2_per_kwh:
+        Carbon intensity of the electricity feeding the network, in
+        grams of CO2 per kWh.  When non-zero each epoch row and the
+        series totals gain derived ``carbon_gco2`` masses (energy x
+        intensity); the default 0.0 is omitted from :meth:`to_dict`,
+        so existing spec hashes and cached records are unchanged.
     """
 
     name: str
@@ -82,6 +88,7 @@ class ControlSpec:
     sleep: bool = False
     sleep_power_fraction: float = 0.0
     wake_energy_j: float = 0.0
+    grid_intensity_gco2_per_kwh: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -137,6 +144,10 @@ class ControlSpec:
             )
         if self.wake_energy_j < 0.0:
             raise ConfigurationError("wake_energy_j must be >= 0")
+        if self.grid_intensity_gco2_per_kwh < 0.0:
+            raise ConfigurationError(
+                "grid_intensity_gco2_per_kwh must be >= 0"
+            )
         known = set(self.network.topology.node_names)
         unknown = [n for n in self.series.base.nodes() if n not in known]
         if unknown:
@@ -168,7 +179,7 @@ class ControlSpec:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe dict; :meth:`from_dict` round-trips it exactly."""
-        return {
+        out = {
             "name": self.name,
             "network": self.network.to_dict(),
             "series": self.series.to_dict(),
@@ -180,6 +191,11 @@ class ControlSpec:
             "sleep_power_fraction": self.sleep_power_fraction,
             "wake_energy_j": self.wake_energy_j,
         }
+        if self.grid_intensity_gco2_per_kwh:
+            out["grid_intensity_gco2_per_kwh"] = (
+                self.grid_intensity_gco2_per_kwh
+            )
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ControlSpec":

@@ -151,6 +151,12 @@ class NetworkSpec:
         (load x the endpoint technology's line rate).  The default 0.0
         is omitted from :meth:`to_dict`, so existing spec hashes and
         records are unchanged.
+    grid_intensity_gco2_per_kwh:
+        Carbon intensity of the electricity feeding the network, in
+        grams of CO2 per kWh.  When non-zero the record totals gain a
+        derived ``carbon_gco2_per_h`` rate (total power x intensity);
+        the default 0.0 is omitted from :meth:`to_dict`, so existing
+        spec hashes and cached figures are unchanged.
     base:
         Extra :class:`~repro.api.Scenario` fields shared by every
         derived per-router scenario (``backend``, ``traffic``,
@@ -167,6 +173,7 @@ class NetworkSpec:
     port_power_w: float = 0.0
     base: tuple[tuple[str, Any], ...] = ()
     propagation_j_per_bit_m: float = 0.0
+    grid_intensity_gco2_per_kwh: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -196,6 +203,10 @@ class NetworkSpec:
             raise ConfigurationError("port_power_w must be >= 0")
         if self.propagation_j_per_bit_m < 0.0:
             raise ConfigurationError("propagation_j_per_bit_m must be >= 0")
+        if self.grid_intensity_gco2_per_kwh < 0.0:
+            raise ConfigurationError(
+                "grid_intensity_gco2_per_kwh must be >= 0"
+            )
         base = dict(_freeze_params(self.base))
         object.__setattr__(self, "base", _freeze_params(base))
         bad = set(base) & set(_DERIVED_FIELDS)
@@ -248,6 +259,10 @@ class NetworkSpec:
         }
         if self.propagation_j_per_bit_m:
             out["propagation_j_per_bit_m"] = self.propagation_j_per_bit_m
+        if self.grid_intensity_gco2_per_kwh:
+            out["grid_intensity_gco2_per_kwh"] = (
+                self.grid_intensity_gco2_per_kwh
+            )
         return out
 
     @classmethod
@@ -798,6 +813,14 @@ class _NetworkFold:
             ),
             "max_link_utilization": max(utils) if utils else 0.0,
         }
+        if spec.grid_intensity_gco2_per_kwh:
+            # W -> kW x gCO2/kWh = gCO2/h; only emitted when an
+            # intensity is configured, so existing exports are
+            # unchanged byte for byte.
+            totals["carbon_gco2_per_h"] = (
+                totals["power_w"] / 1000.0
+                * spec.grid_intensity_gco2_per_kwh
+            )
         if self.detail == "full":
             detail_payload: Any = {
                 "records": self.by_node,
